@@ -1,0 +1,134 @@
+//! One criterion group per paper table/figure: the same deployments the
+//! `repro` harness runs, at a reduced per-generator message budget so
+//! `cargo bench` completes in minutes. These benches double as
+//! regression sentinels for simulator throughput (events/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridmon_core::{run_experiment, scenarios};
+
+/// Message budget per generator for benchmarking (full scale is 180).
+const MSGS: u32 = 4;
+
+fn bench_table2_fig3_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_comparison");
+    g.sample_size(10);
+    for spec in scenarios::table2_specs(MSGS) {
+        let name = spec.name.trim_start_matches("table2/").to_owned();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6_fig7_fig8_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_narada_single");
+    g.sample_size(10);
+    for spec in scenarios::narada_single_specs(MSGS) {
+        let n = spec.generators;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_dbn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_narada_dbn");
+    g.sample_size(10);
+    for spec in scenarios::narada_dbn_specs(MSGS) {
+        let n = spec.generators;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_secondary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_rgma_secondary");
+    g.sample_size(10);
+    for spec in scenarios::rgma_secondary_specs(MSGS) {
+        let n = spec.generators;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11_fig12_fig13_rgma_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_rgma_single");
+    g.sample_size(10);
+    for spec in scenarios::rgma_single_specs(MSGS) {
+        let n = spec.generators;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig14_rgma_distributed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_rgma_distributed");
+    g.sample_size(10);
+    for spec in scenarios::rgma_distributed_specs(MSGS) {
+        let n = spec.generators;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig15_decomposition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_decomposition");
+    g.sample_size(10);
+    for spec in scenarios::fig15_specs(MSGS) {
+        let name = spec.name.trim_start_matches("fig15/").to_owned();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for spec in scenarios::dbn_routing_ablation(MSGS, 400) {
+        let name = spec.name.trim_start_matches("ablation/").to_owned();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    for spec in scenarios::secondary_delay_ablation(MSGS) {
+        let name = spec.name.trim_start_matches("ablation/").to_owned();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_warmup_loss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rgma_warmup_loss");
+    g.sample_size(10);
+    let spec = scenarios::rgma_no_warmup_spec(MSGS);
+    g.bench_function("no_warmup_400", |b| b.iter(|| run_experiment(&spec)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_fig3_fig4,
+    bench_fig6_fig7_fig8_single,
+    bench_fig9_dbn,
+    bench_fig10_secondary,
+    bench_fig11_fig12_fig13_rgma_single,
+    bench_fig14_rgma_distributed,
+    bench_fig15_decomposition,
+    bench_ablations,
+    bench_warmup_loss
+);
+criterion_main!(benches);

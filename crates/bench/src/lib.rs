@@ -1,0 +1,11 @@
+//! # gridmon-bench — criterion benchmarks
+//!
+//! Two layers:
+//!
+//! * `benches/substrates.rs` — microbenchmarks of the hot substrate code
+//!   (selector language, SQL engine, codec, histogram, event queue,
+//!   matching engine).
+//! * `benches/experiments.rs` — one group per paper table/figure, running
+//!   the same deployments as the `repro` harness at a reduced message
+//!   budget so `cargo bench` finishes in minutes while still exercising
+//!   every mechanism.

@@ -1,0 +1,30 @@
+//! Quick calibration probe (dev tool): run key experiments at reduced
+//! scale and print the observables the paper reports.
+use gridmon_core::{run_all, scenarios};
+
+fn main() {
+    let msgs: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let mut specs = Vec::new();
+    specs.extend(scenarios::table2_specs(msgs));
+    specs.extend(scenarios::narada_single_specs(msgs));
+    specs.extend(scenarios::narada_dbn_specs(msgs));
+    specs.extend(scenarios::rgma_single_specs(msgs));
+    specs.extend(scenarios::rgma_distributed_specs(msgs));
+    specs.extend(scenarios::rgma_secondary_specs(msgs.min(20)));
+    specs.push(scenarios::rgma_no_warmup_spec(msgs));
+    specs.push(scenarios::narada_single_4000(msgs));
+    specs.push(scenarios::rgma_single_800(msgs));
+    let t0 = std::time::Instant::now();
+    let results = run_all(&specs, 0);
+    for r in &results {
+        println!(
+            "{:<28} conns={:<5} rtt={:>9.2}ms sd={:>8.2} p99={:>9.1} p100={:>9.1} loss={:.4}% idle={:>5.1}% mem={:>6.1}MB refused={} sent={} recv={}",
+            r.name, r.generators, r.summary.rtt_mean_ms, r.summary.rtt_stddev_ms,
+            r.summary.percentiles_ms.iter().find(|p| p.0==99).map(|p| p.1).unwrap_or(0.0),
+            r.summary.percentiles_ms.iter().find(|p| p.0==100).map(|p| p.1).unwrap_or(0.0),
+            r.summary.loss_rate*100.0, r.server_idle*100.0, r.server_mem_mb, r.refused,
+            r.summary.sent, r.summary.received,
+        );
+    }
+    eprintln!("wall time: {:?}", t0.elapsed());
+}

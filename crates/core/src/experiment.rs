@@ -1,0 +1,543 @@
+//! Experiment specification, deployment, execution, and result
+//! collection — one call reproduces one data point of the paper.
+
+use crate::calibration;
+use jms::AckMode;
+use narada::{BrokerNetwork, ConnSettings, NaradaConfig};
+use powergrid::{
+    FleetStatsHandle, NaradaFleet, NaradaFleetConfig, NaradaSubscriber, RgmaFleet,
+    RgmaFleetConfig, RgmaSubscriber, TABLE_SQL,
+};
+use rgma::{ConsumerControl, ConsumerServlet, ProducerControl, ProducerServlet, RegistryActor,
+    RgmaConfig, SecondaryProducer};
+use simcore::{SimDuration, SimTime, Simulation};
+use simnet::{Endpoint, NetworkFabric, Transport};
+use simos::{NodeId, OsModel, ProcessId, VmstatLog, VmstatSampler};
+use telemetry::{RttCollector, RttSummary};
+
+/// Which deployment is under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemUnderTest {
+    /// One Narada broker on one node.
+    NaradaSingle,
+    /// A Distributed Broker Network of `brokers` fully-meshed brokers.
+    NaradaDbn {
+        /// Broker count (paper: 4).
+        brokers: usize,
+    },
+    /// Registry + Primary Producer servlet + Consumer servlet in one
+    /// Tomcat on one node.
+    RgmaSingle,
+    /// Producer servlets on two nodes, Consumer servlets on two nodes
+    /// (registry co-located with the first producer node).
+    RgmaDistributed,
+    /// Single server plus a Secondary Producer in the path (fig 10).
+    RgmaSecondary,
+}
+
+impl SystemUnderTest {
+    /// Is this an R-GMA deployment?
+    pub fn is_rgma(self) -> bool {
+        matches!(
+            self,
+            SystemUnderTest::RgmaSingle
+                | SystemUnderTest::RgmaDistributed
+                | SystemUnderTest::RgmaSecondary
+        )
+    }
+}
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Human-readable name ("fig7/single/2000", "table2/UDP"…).
+    pub name: String,
+    /// Deployment.
+    pub system: SystemUnderTest,
+    /// Total simulated generators (concurrent connections).
+    pub generators: usize,
+    /// Transport for Narada connections (ignored by R-GMA, always HTTP).
+    pub transport: Transport,
+    /// JMS acknowledge mode (Narada only).
+    pub ack_mode: AckMode,
+    /// Payload multiplier (Narada "Triple" test).
+    pub payload_repeat: usize,
+    /// Publish period per generator.
+    pub publish_interval: SimDuration,
+    /// Messages per generator.
+    pub msgs_per_generator: u32,
+    /// Warm-up sleep range before first publish.
+    pub warmup: (SimDuration, SimDuration),
+    /// RNG seed.
+    pub seed: u64,
+    /// Use the v1.1.3 broadcast DBN (true) or routed ablation (false).
+    pub dbn_broadcast: bool,
+    /// Override the R-GMA configuration (None = gLite 3.0 defaults).
+    pub rgma_config: Option<RgmaConfig>,
+}
+
+impl ExperimentSpec {
+    /// A paper-faithful spec with the standard settings; customize from
+    /// here.
+    pub fn paper_default(name: impl Into<String>, system: SystemUnderTest, generators: usize) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            system,
+            generators,
+            transport: Transport::Tcp,
+            ack_mode: AckMode::Auto,
+            payload_repeat: 1,
+            publish_interval: calibration::publish_interval(),
+            msgs_per_generator: 180,
+            warmup: calibration::warmup_range(),
+            seed: 0x9e3779b97f4a7c15,
+            dbn_broadcast: true,
+            rgma_config: None,
+        }
+    }
+
+    /// A scaled-down variant for tests and criterion benches: fewer
+    /// messages per generator, same mechanisms.
+    pub fn scaled(mut self, msgs: u32) -> Self {
+        self.msgs_per_generator = msgs;
+        self
+    }
+
+    /// Total messages this spec will publish.
+    pub fn total_messages(&self) -> u64 {
+        self.generators as u64 * u64::from(self.msgs_per_generator)
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Spec name.
+    pub name: String,
+    /// Requested connection count.
+    pub generators: usize,
+    /// Message telemetry (RTT, percentiles, loss, decomposition).
+    pub summary: RttSummary,
+    /// Mean CPU idle fraction across *server* nodes.
+    pub server_idle: f64,
+    /// Peak memory consumption across server nodes, MB (paper metric).
+    pub server_mem_mb: f64,
+    /// Connections accepted by the middleware.
+    pub connected: u32,
+    /// Connections refused (OOM / thread exhaustion).
+    pub refused: u32,
+    /// Messages the fleets attempted to publish.
+    pub published: u64,
+    /// Wasted inter-broker messages (DBN broadcast deficiency indicator).
+    pub broker_forwards: u64,
+    /// Virtual time the run covered.
+    pub sim_time: SimTime,
+    /// Kernel events processed (cost indicator).
+    pub events: u64,
+}
+
+/// Deploy and run one experiment to completion.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let mut sim = Simulation::new(spec.seed);
+
+    // --- Cluster ---------------------------------------------------
+    let mut os = OsModel::new();
+    let server_count = match spec.system {
+        SystemUnderTest::NaradaSingle | SystemUnderTest::RgmaSingle => 1,
+        SystemUnderTest::NaradaDbn { brokers } => brokers,
+        SystemUnderTest::RgmaDistributed => 4,
+        SystemUnderTest::RgmaSecondary => 2,
+    };
+    let mut server_nodes = Vec::new();
+    for i in 0..server_count {
+        server_nodes.push(os.add_node(calibration::hydra_server(format!("hydra{}", i + 1))));
+    }
+    // Client nodes: enough for the fleet (≤1000 generators per node; the
+    // R-GMA runs used two publishing nodes at 1000 connections, so cap at
+    // 500 there — which also spreads connections over both producer
+    // servlets in the distributed deployment), plus one node for the
+    // subscriber program.
+    let per_node_cap = if spec.system.is_rgma() {
+        calibration::MAX_GENERATORS_PER_NODE / 2
+    } else {
+        calibration::MAX_GENERATORS_PER_NODE
+    };
+    let fleet_nodes_n = spec.generators.div_ceil(per_node_cap).max(1);
+    let mut client_nodes = Vec::new();
+    for i in 0..=fleet_nodes_n {
+        client_nodes.push(os.add_node(calibration::hydra_client(format!(
+            "hydra{}",
+            server_count + i + 1
+        ))));
+    }
+    let total_nodes = server_count + client_nodes.len();
+    sim.add_service(NetworkFabric::new(calibration::hydra_fabric(), total_nodes));
+    sim.add_service(RttCollector::new());
+    sim.add_service(VmstatLog::new());
+
+    // Server processes.
+    let server_procs: Vec<ProcessId> = server_nodes
+        .iter()
+        .map(|&n| {
+            os.add_process(
+                n,
+                if spec.system.is_rgma() {
+                    calibration::rgma_server_process()
+                } else {
+                    calibration::narada_broker_process()
+                },
+            )
+        })
+        .collect();
+    // Driver processes.
+    let client_procs: Vec<ProcessId> = client_nodes
+        .iter()
+        .map(|&n| os.add_process(n, calibration::driver_process()))
+        .collect();
+    sim.add_service(os);
+    sim.add_actor(VmstatSampler::new(
+        SimDuration::from_secs(1),
+        server_nodes.clone(),
+    ));
+    // Stop-the-world GC pauses on the middleware JVMs (the latency-tail
+    // mechanism; see simos::gc).
+    let gc_cfg = if spec.system.is_rgma() {
+        simos::GcConfig::rgma_server()
+    } else {
+        simos::GcConfig::narada_broker()
+    };
+    for (&node, &proc) in server_nodes.iter().zip(&server_procs) {
+        sim.add_actor(simos::GcPauser::new(gc_cfg.clone(), node, proc));
+    }
+
+    // --- Middleware + workload -------------------------------------
+    let mut fleet_stats: Vec<FleetStatsHandle> = Vec::new();
+    let mut sub_stats: Vec<FleetStatsHandle> = Vec::new();
+    let mut broker_stats: Vec<narada::StatsHandle> = Vec::new();
+
+    let per_fleet = split_evenly(spec.generators, fleet_nodes_n);
+    match spec.system {
+        SystemUnderTest::NaradaSingle | SystemUnderTest::NaradaDbn { .. } => {
+            let ncfg = if spec.dbn_broadcast {
+                NaradaConfig::v1_1_3()
+            } else {
+                NaradaConfig::routed()
+            };
+            // Brokers.
+            let hosts: Vec<(NodeId, ProcessId)> = server_nodes
+                .iter()
+                .copied()
+                .zip(server_procs.iter().copied())
+                .collect();
+            let endpoints: Vec<Endpoint> = if hosts.len() == 1 {
+                let broker = narada::Broker::new(ncfg.clone(), hosts[0].0, hosts[0].1);
+                broker_stats.push(broker.stats_handle());
+                let id = sim.add_actor(broker);
+                vec![Endpoint::new(hosts[0].0, id)]
+            } else {
+                let network =
+                    BrokerNetwork::deploy(&mut sim, &ncfg, &hosts, SimDuration::from_millis(200));
+                broker_stats.extend(network.stats.iter().cloned());
+                network.endpoints
+            };
+            let settings = ConnSettings {
+                transport: spec.transport,
+                ack_mode: spec.ack_mode,
+            };
+            // Fig 5 topology: "Publishers connect to publishing brokers.
+            // Subscribers connect to subscribing brokers." The last broker
+            // serves subscribers; the rest take publisher connections, so
+            // every measured delivery crosses the broker network — which
+            // v1.1.3 floods to every peer ("data congestion").
+            let pub_eps: Vec<Endpoint> = if endpoints.len() > 1 {
+                endpoints[..endpoints.len() - 1].to_vec()
+            } else {
+                endpoints.clone()
+            };
+            let sub_eps: Vec<Endpoint> = if endpoints.len() > 1 {
+                endpoints[endpoints.len() - 1..].to_vec()
+            } else {
+                endpoints.clone()
+            };
+            // Fleets: fleet i connects to broker i % n.
+            let mut first_id = 0u32;
+            for (i, &n_gens) in per_fleet.iter().enumerate() {
+                let broker_ep = pub_eps[i % pub_eps.len()];
+                let fleet = NaradaFleet::new(NaradaFleetConfig {
+                    node: client_nodes[i],
+                    proc: client_procs[i],
+                    broker_ep,
+                    n_generators: n_gens,
+                    first_id,
+                    creation_interval: calibration::narada_creation_interval(),
+                    warmup: spec.warmup,
+                    publish_interval: spec.publish_interval,
+                    settings,
+                    payload_repeat: spec.payload_repeat,
+                    msgs_per_generator: spec.msgs_per_generator,
+                    narada: ncfg.clone(),
+                });
+                fleet_stats.push(fleet.stats_handle());
+                sim.add_actor(fleet);
+                first_id += n_gens as u32;
+            }
+            // Subscribers: one per subscribing broker, on the dedicated
+            // client node.
+            let sub_node = *client_nodes.last().expect("at least one client node");
+            for ep in &sub_eps {
+                let sub = NaradaSubscriber::new(sub_node, *ep, settings, ncfg.clone());
+                sub_stats.push(sub.stats_handle());
+                sim.add_actor(sub);
+            }
+        }
+        SystemUnderTest::RgmaSingle
+        | SystemUnderTest::RgmaDistributed
+        | SystemUnderTest::RgmaSecondary => {
+            let rcfg = spec
+                .rgma_config
+                .clone()
+                .unwrap_or_else(RgmaConfig::glite_3_0);
+            // Registry always on server node 0.
+            let reg = sim.add_actor(RegistryActor::new(
+                rcfg.clone(),
+                server_nodes[0],
+                server_procs[0],
+            ));
+            let reg_ep = Endpoint::new(server_nodes[0], reg);
+            // Producer/Consumer servlets.
+            let (prod_hosts, cons_hosts): (Vec<usize>, Vec<usize>) = match spec.system {
+                SystemUnderTest::RgmaSingle | SystemUnderTest::RgmaSecondary => {
+                    (vec![0], vec![0])
+                }
+                SystemUnderTest::RgmaDistributed => (vec![0, 1], vec![2, 3]),
+                _ => unreachable!(),
+            };
+            let mut prod_eps = Vec::new();
+            for &h in &prod_hosts {
+                let p = sim.add_actor(ProducerServlet::new(
+                    rcfg.clone(),
+                    server_nodes[h],
+                    server_procs[h],
+                    reg_ep,
+                ));
+                sim.schedule(
+                    SimDuration::ZERO,
+                    p,
+                    Box::new(ProducerControl::DeclareTable {
+                        sql: TABLE_SQL.into(),
+                    }),
+                );
+                prod_eps.push(Endpoint::new(server_nodes[h], p));
+            }
+            let mut cons_eps = Vec::new();
+            for &h in &cons_hosts {
+                let c = sim.add_actor(ConsumerServlet::new(
+                    rcfg.clone(),
+                    server_nodes[h],
+                    server_procs[h],
+                    reg_ep,
+                ));
+                sim.schedule(
+                    SimDuration::ZERO,
+                    c,
+                    Box::new(ConsumerControl::DeclareTable {
+                        sql: TABLE_SQL.into(),
+                    }),
+                );
+                cons_eps.push(Endpoint::new(server_nodes[h], c));
+            }
+            // The fig-10 chain: a Secondary Producer on the second node.
+            let subscriber_table = if spec.system == SystemUnderTest::RgmaSecondary {
+                let sp = SecondaryProducer::new(
+                    rcfg.clone(),
+                    server_nodes[1],
+                    server_procs[1],
+                    reg_ep,
+                    powergrid::TABLE,
+                    "generator_archive",
+                );
+                sim.add_actor(sp);
+                "generator_archive"
+            } else {
+                powergrid::TABLE
+            };
+            // Fleets spread over producer servlets.
+            let mut first_id = 0u32;
+            for (i, &n_gens) in per_fleet.iter().enumerate() {
+                let fleet = RgmaFleet::new(RgmaFleetConfig {
+                    node: client_nodes[i],
+                    proc: client_procs[i],
+                    producer_ep: prod_eps[i % prod_eps.len()],
+                    n_generators: n_gens,
+                    first_id,
+                    creation_interval: calibration::rgma_creation_interval(),
+                    warmup: spec.warmup,
+                    publish_interval: spec.publish_interval,
+                    msgs_per_generator: spec.msgs_per_generator,
+                    rgma: rcfg.clone(),
+                });
+                fleet_stats.push(fleet.stats_handle());
+                sim.add_actor(fleet);
+                first_id += n_gens as u32;
+            }
+            // One subscriber per consumer servlet.
+            let sub_node = *client_nodes.last().expect("at least one client node");
+            for ep in &cons_eps {
+                let sub = RgmaSubscriber::new(
+                    sub_node,
+                    *ep,
+                    format!("SELECT * FROM {subscriber_table}"),
+                    rcfg.clone(),
+                );
+                sub_stats.push(sub.stats_handle());
+                sim.add_actor(sub);
+            }
+        }
+    }
+
+    // --- Run --------------------------------------------------------
+    let creation_interval = if spec.system.is_rgma() {
+        calibration::rgma_creation_interval()
+    } else {
+        calibration::narada_creation_interval()
+    };
+    let max_fleet = per_fleet.iter().copied().max().unwrap_or(0) as u64;
+    let ramp = creation_interval.saturating_mul(max_fleet);
+    let publishing = spec.publish_interval.saturating_mul(u64::from(spec.msgs_per_generator));
+    let drain = if spec.system == SystemUnderTest::RgmaSecondary {
+        SimDuration::from_secs(120)
+    } else if spec.system.is_rgma() {
+        SimDuration::from_secs(30)
+    } else {
+        SimDuration::from_secs(10)
+    };
+    let horizon = SimTime::ZERO + ramp + spec.warmup.1 + publishing + drain;
+    let steady_from = SimTime::ZERO + ramp + spec.warmup.1;
+    let steady_to = SimTime::ZERO + ramp + publishing;
+    sim.run_until(horizon);
+
+    // --- Collect ----------------------------------------------------
+    let summary = sim
+        .service::<RttCollector>()
+        .expect("collector registered")
+        .summary();
+    let vm = sim.service::<VmstatLog>().expect("vmstat registered");
+    // CPU idle over the steady publishing window (excludes the ramp).
+    let idles: Vec<f64> = server_nodes
+        .iter()
+        .filter_map(|&n| vm.mean_idle_between(n, steady_from, steady_to.max(steady_from)))
+        .collect();
+    let server_idle = if idles.is_empty() {
+        1.0
+    } else {
+        idles.iter().sum::<f64>() / idles.len() as f64
+    };
+    let mems: Vec<u64> = server_nodes
+        .iter()
+        .filter_map(|&n| vm.peak_mem(n))
+        .collect();
+    let server_mem_mb = mems
+        .iter()
+        .map(|&m| m as f64 / (1024.0 * 1024.0))
+        .fold(0.0f64, f64::max);
+    let connected = fleet_stats.iter().map(|s| s.borrow().connected).sum();
+    let refused = fleet_stats.iter().map(|s| s.borrow().refused).sum();
+    let published = fleet_stats.iter().map(|s| s.borrow().published).sum();
+    let broker_forwards = broker_stats.iter().map(|s| s.borrow().forwarded).sum();
+
+    ExperimentResult {
+        name: spec.name.clone(),
+        generators: spec.generators,
+        summary,
+        server_idle,
+        server_mem_mb,
+        connected,
+        refused,
+        published,
+        broker_forwards,
+        sim_time: sim.now(),
+        events: sim.stats().events_processed,
+    }
+}
+
+/// Split `total` into `parts` nearly equal chunks.
+fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts)
+        .map(|i| base + usize::from(i < extra))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_evenly_sums() {
+        assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_evenly(4000, 4), vec![1000; 4]);
+        assert_eq!(split_evenly(1, 1), vec![1]);
+        assert_eq!(split_evenly(0, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn spec_helpers() {
+        let spec =
+            ExperimentSpec::paper_default("x", SystemUnderTest::NaradaSingle, 800).scaled(10);
+        assert_eq!(spec.total_messages(), 8000);
+        assert!(!spec.system.is_rgma());
+        assert!(SystemUnderTest::RgmaSingle.is_rgma());
+    }
+
+    #[test]
+    fn small_narada_experiment_runs_end_to_end() {
+        let spec = ExperimentSpec::paper_default(
+            "smoke/narada",
+            SystemUnderTest::NaradaSingle,
+            20,
+        )
+        .scaled(5);
+        let r = run_experiment(&spec);
+        assert_eq!(r.summary.sent, 100);
+        assert_eq!(r.summary.received, 100);
+        assert_eq!(r.connected, 20);
+        assert_eq!(r.refused, 0);
+        assert!(r.summary.rtt_mean_ms > 0.5 && r.summary.rtt_mean_ms < 50.0);
+        assert!(r.server_idle > 0.5, "20 conns should leave the broker idle");
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn small_rgma_experiment_runs_end_to_end() {
+        let spec =
+            ExperimentSpec::paper_default("smoke/rgma", SystemUnderTest::RgmaSingle, 10).scaled(5);
+        let r = run_experiment(&spec);
+        assert_eq!(r.summary.sent, 50);
+        assert_eq!(r.summary.received, 50, "warm-up wait prevents loss");
+        assert!(
+            r.summary.rtt_mean_ms > 100.0,
+            "R-GMA is slow: {}",
+            r.summary.rtt_mean_ms
+        );
+        assert!(r.summary.rtt_mean_ms > 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_results() {
+        let spec = ExperimentSpec::paper_default(
+            "det/narada",
+            SystemUnderTest::NaradaSingle,
+            10,
+        )
+        .scaled(3);
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a.summary.rtt_mean_ms, b.summary.rtt_mean_ms);
+        assert_eq!(a.events, b.events);
+        let mut spec2 = spec.clone();
+        spec2.seed += 1;
+        let c = run_experiment(&spec2);
+        assert_ne!(a.summary.rtt_mean_ms, c.summary.rtt_mean_ms);
+    }
+}

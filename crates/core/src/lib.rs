@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # gridmon-core — the study itself, as a library
+//!
+//! Ties the substrates together into reproducible experiments:
+//!
+//! * [`calibration`] — every constant pinned to the paper's testbed
+//!   (Table I hardware, JVM flags, observed scalability cliffs).
+//! * [`experiment`] — deploy a system (Narada single/DBN, R-GMA
+//!   single/distributed/secondary) on a simulated Hydra cluster, run the
+//!   paper's workload, and collect RTT/percentile/loss/CPU/memory data.
+//! * [`scenarios`] — the catalogue: one spec set per table/figure.
+//! * [`sweep`] — run many experiments in parallel across OS threads
+//!   (each experiment is an independent deterministic simulation).
+
+pub mod calibration;
+pub mod experiment;
+pub mod scenarios;
+pub mod sweep;
+
+pub use experiment::{run_experiment, ExperimentResult, ExperimentSpec, SystemUnderTest};
+pub use sweep::run_all;

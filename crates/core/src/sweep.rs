@@ -1,0 +1,94 @@
+//! Parallel experiment execution.
+//!
+//! Each experiment is a self-contained deterministic simulation, so a
+//! sweep is embarrassingly parallel: a crossbeam-channel work queue
+//! feeding one worker per core. (This is the project's parallel surface —
+//! within one simulation the event loop is inherently sequential.)
+
+use crate::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
+use crossbeam::channel;
+
+/// Run all specs, using up to `threads` workers (0 = one per core).
+/// Results come back in the input order.
+pub fn run_all(specs: &[ExperimentSpec], threads: usize) -> Vec<ExperimentResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(specs.len().max(1));
+
+    let (task_tx, task_rx) = channel::unbounded::<(usize, ExperimentSpec)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, ExperimentResult)>();
+    for (ix, spec) in specs.iter().enumerate() {
+        task_tx.send((ix, spec.clone())).expect("queue open");
+    }
+    drop(task_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok((ix, spec)) = task_rx.recv() {
+                    let result = run_experiment(&spec);
+                    if result_tx.send((ix, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<ExperimentResult>> = (0..specs.len()).map(|_| None).collect();
+        while let Ok((ix, result)) = result_rx.recv() {
+            slots[ix] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task produced a result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SystemUnderTest;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let specs: Vec<ExperimentSpec> = (0..4)
+            .map(|i| {
+                ExperimentSpec::paper_default(
+                    format!("sweep/{i}"),
+                    SystemUnderTest::NaradaSingle,
+                    5 + i,
+                )
+                .scaled(3)
+            })
+            .collect();
+        let parallel = run_all(&specs, 4);
+        let sequential: Vec<_> = specs.iter().map(run_experiment).collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.summary.rtt_mean_ms, s.summary.rtt_mean_ms);
+            assert_eq!(p.events, s.events);
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let specs = vec![ExperimentSpec::paper_default(
+            "one",
+            SystemUnderTest::NaradaSingle,
+            3,
+        )
+        .scaled(2)];
+        let r = run_all(&specs, 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].summary.sent, 6);
+    }
+}

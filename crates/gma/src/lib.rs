@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # gma — the GGF Grid Monitoring Architecture (GFD.7)
+//!
+//! The paper frames both middlewares through the GGF's Grid Monitoring
+//! Architecture: *producers* gather data, *consumers* receive it, and a
+//! *directory service* mediates discovery, deliberately separated from the
+//! data path for scalability. Three data-transfer modes are defined:
+//! publish/subscribe, query/response, and notification.
+//!
+//! This crate provides those abstractions plus a reusable in-memory
+//! directory with registration propagation delay — the mechanism behind
+//! R-GMA's warm-up data loss (§III.F: producers must wait 5–10 s before
+//! publishing or tuples are lost).
+
+pub mod directory;
+pub mod modes;
+
+pub use directory::{ConsumerEntry, Directory, ProducerEntry, RegistrationId};
+pub use modes::TransferMode;

@@ -1,0 +1,59 @@
+//! GMA data-transfer modes (GFD.7 §3).
+
+use std::fmt;
+
+/// How data moves from producer to consumer once discovery has happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferMode {
+    /// Either party initiates; the producer then streams events until
+    /// either side terminates. Narada topics and R-GMA continuous queries
+    /// are this mode.
+    PublishSubscribe,
+    /// The consumer initiates; the producer answers with all data in one
+    /// response. R-GMA latest/history queries are this mode.
+    QueryResponse,
+    /// The producer initiates and transfers all data in one notification.
+    Notification,
+}
+
+impl TransferMode {
+    /// Who may initiate the transfer.
+    pub fn initiator(self) -> &'static str {
+        match self {
+            TransferMode::PublishSubscribe => "either",
+            TransferMode::QueryResponse => "consumer",
+            TransferMode::Notification => "producer",
+        }
+    }
+
+    /// Whether the transfer is a continuing stream (vs one-shot).
+    pub fn is_streaming(self) -> bool {
+        matches!(self, TransferMode::PublishSubscribe)
+    }
+}
+
+impl fmt::Display for TransferMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransferMode::PublishSubscribe => "publish/subscribe",
+            TransferMode::QueryResponse => "query/response",
+            TransferMode::Notification => "notification",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_properties() {
+        assert!(TransferMode::PublishSubscribe.is_streaming());
+        assert!(!TransferMode::QueryResponse.is_streaming());
+        assert!(!TransferMode::Notification.is_streaming());
+        assert_eq!(TransferMode::QueryResponse.initiator(), "consumer");
+        assert_eq!(TransferMode::Notification.initiator(), "producer");
+        assert_eq!(TransferMode::PublishSubscribe.initiator(), "either");
+        assert_eq!(format!("{}", TransferMode::QueryResponse), "query/response");
+    }
+}

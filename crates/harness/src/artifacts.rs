@@ -1,0 +1,810 @@
+//! Builders that turn experiment results into the paper's tables and
+//! figures.
+
+use crate::campaign::Campaign;
+use gridmon_core::{scenarios, ExperimentResult};
+use telemetry::{trim_float, Figure, Table};
+
+fn ms(v: f64) -> String {
+    trim_float((v * 100.0).round() / 100.0)
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Table I — hardware specifications and software versions (documented
+/// constants of the calibration).
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "TABLE I — hardware specifications and software versions (simulated testbed)",
+        &["CPU and memory", "OS and JVM (modelled)", "Middleware (reproduced)"],
+    );
+    t.push_row(vec![
+        "PentiumIII 866MHz (single core), 2GB".into(),
+        "Linux 2.4-era scheduler model, JVM thread-per-connection".into(),
+        "narada crate (NaradaBrokering v1.1.3 behaviour), rgma crate (R-GMA gLite 3.0 behaviour)"
+            .into(),
+    ]);
+    t.push_row(vec![
+        "8-node isolated 100Mbps switched LAN".into(),
+        "effective 7.5 MB/s, 150us switch latency".into(),
+        "Narada JVM -Xms1024m -Xmx1024m; Tomcat -Xmx1024m".into(),
+    ]);
+    t
+}
+
+/// Table II — comparison test settings plus measured totals/loss
+/// (§III.E.1 reports the loss rates in prose).
+pub fn table2(campaign: &mut Campaign, msgs: u32) -> Table {
+    let results = campaign.ensure(&scenarios::table2_specs(msgs));
+    let mut t = Table::new(
+        "TABLE II — comparison test settings and measured outcomes",
+        &[
+            "test",
+            "transport",
+            "ACK mode",
+            "comment",
+            "sent",
+            "received",
+            "loss",
+        ],
+    );
+    let meta = [
+        ("Test1 (UDP)", "UDP", "AUTO", ""),
+        ("Test2 (UDP CLI)", "UDP", "CLIENT", ""),
+        ("Test3 (NIO)", "NIO", "AUTO", ""),
+        ("Test4 (TCP)", "TCP", "AUTO", ""),
+        ("Test5 (Triple)", "TCP", "AUTO", "Triple payload"),
+        ("Test6 (80)", "TCP", "AUTO", "80 connections"),
+    ];
+    for ((name, transport, ack, comment), r) in meta.iter().zip(&results) {
+        t.push_row(vec![
+            (*name).into(),
+            (*transport).into(),
+            (*ack).into(),
+            (*comment).into(),
+            r.summary.sent.to_string(),
+            r.summary.received.to_string(),
+            pct(r.summary.loss_rate),
+        ]);
+    }
+    t
+}
+
+/// Fig 3 — Narada comparison tests: RTT and standard deviation.
+pub fn fig3(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let results = campaign.ensure(&scenarios::table2_specs(msgs));
+    let mut f = Figure::new(
+        "fig3",
+        "Narada comparison tests: round-trip time and standard deviation",
+        "test",
+        "millisecond",
+    );
+    // X positions follow the paper's bar order: UDP, UDP CLI, NIO, Triple, TCP, 80.
+    let order = [0usize, 1, 2, 4, 3, 5];
+    let rtt: Vec<(f64, f64)> = order
+        .iter()
+        .enumerate()
+        .map(|(x, &i)| (x as f64, results[i].summary.rtt_mean_ms))
+        .collect();
+    let sd: Vec<(f64, f64)> = order
+        .iter()
+        .enumerate()
+        .map(|(x, &i)| (x as f64, results[i].summary.rtt_stddev_ms))
+        .collect();
+    f.push_series("RTT", rtt);
+    f.push_series("STDDEV", sd);
+    f
+}
+
+/// Fig 4 — comparison tests, percentile of RTT (95–100 %).
+pub fn fig4(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let results = campaign.ensure(&scenarios::table2_specs(msgs));
+    let mut f = Figure::new(
+        "fig4",
+        "Narada comparison tests, percentile of RTT",
+        "percentile",
+        "millisecond",
+    );
+    // The paper plots NIO, TCP, UDP, Triple, 80 (UDP CLI omitted).
+    for &(label, ix) in &[("NIO", 2usize), ("TCP", 3), ("UDP", 0), ("Triple", 4), ("80", 5)] {
+        let pts = results[ix]
+            .summary
+            .percentiles_ms
+            .iter()
+            .map(|&(p, v)| (f64::from(p), v))
+            .collect();
+        f.push_series(label, pts);
+    }
+    f
+}
+
+/// Fig 5 — the distributed architecture (topology description).
+pub fn fig5() -> Table {
+    let mut t = Table::new(
+        "Fig 5 — distributed broker architecture (as deployed)",
+        &["role", "nodes", "detail"],
+    );
+    t.push_row(vec![
+        "publishing brokers".into(),
+        "2".into(),
+        "accept generator connections (≤ m per broker)".into(),
+    ]);
+    t.push_row(vec![
+        "subscribing broker".into(),
+        "1".into(),
+        "serves the receiving programs (throughput ≤ n)".into(),
+    ]);
+    t.push_row(vec![
+        "unit controller (BDN)".into(),
+        "1".into(),
+        "assigns broker addresses; full TCP mesh between brokers".into(),
+    ]);
+    t.push_row(vec![
+        "v1.1.3 behaviour".into(),
+        "-".into(),
+        "messages are flooded to every broker regardless of subscriptions".into(),
+    ]);
+    t
+}
+
+fn narada_scalability(campaign: &mut Campaign, msgs: u32) -> (Vec<ExperimentResult>, Vec<ExperimentResult>) {
+    let single = campaign.ensure(&scenarios::narada_single_specs(msgs));
+    let dbn = campaign.ensure(&scenarios::narada_dbn_specs(msgs));
+    (single, dbn)
+}
+
+/// Fig 6 — Narada CPU idle and memory consumption vs connections.
+pub fn fig6(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let (single, dbn) = narada_scalability(campaign, msgs);
+    let mut f = Figure::new(
+        "fig6",
+        "Narada tests, CPU idle (%) and memory (MB); CPU/MEM single server, CPU2/MEM2 DBN",
+        "concurrent connections",
+        "CPU idle % / memory (MB)",
+    );
+    f.push_series(
+        "CPU",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, (r.server_idle * 100.0).round()))
+            .collect(),
+    );
+    f.push_series(
+        "CPU2",
+        dbn.iter()
+            .map(|r| (r.generators as f64, (r.server_idle * 100.0).round()))
+            .collect(),
+    );
+    f.push_series(
+        "MEM",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, r.server_mem_mb.round()))
+            .collect(),
+    );
+    f.push_series(
+        "MEM2",
+        dbn.iter()
+            .map(|r| (r.generators as f64, r.server_mem_mb.round()))
+            .collect(),
+    );
+    f
+}
+
+/// Fig 7 — Narada RTT and STDDEV vs connections (single vs DBN).
+pub fn fig7(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let (single, dbn) = narada_scalability(campaign, msgs);
+    let mut f = Figure::new(
+        "fig7",
+        "Narada tests, round-trip time and standard deviation; RTT/STDDEV single, RTT2/STDDEV2 DBN",
+        "concurrent connections",
+        "millisecond",
+    );
+    f.push_series(
+        "RTT",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_mean_ms))
+            .collect(),
+    );
+    f.push_series(
+        "STDDEV",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_stddev_ms))
+            .collect(),
+    );
+    f.push_series(
+        "RTT2",
+        dbn.iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_mean_ms))
+            .collect(),
+    );
+    f.push_series(
+        "STDDEV2",
+        dbn.iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_stddev_ms))
+            .collect(),
+    );
+    f
+}
+
+/// Fig 8 — Narada single-server percentile of RTT per connection count.
+pub fn fig8(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let single = campaign.ensure(&scenarios::narada_single_specs(msgs));
+    let mut f = Figure::new(
+        "fig8",
+        "Narada single server tests, percentile of RTT (500–3000 connections)",
+        "percentile",
+        "millisecond",
+    );
+    for r in &single {
+        f.push_series(
+            r.generators.to_string(),
+            r.summary
+                .percentiles_ms
+                .iter()
+                .map(|&(p, v)| (f64::from(p), v))
+                .collect(),
+        );
+    }
+    f
+}
+
+/// Fig 9 — Narada DBN percentile of RTT per connection count.
+pub fn fig9(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let dbn = campaign.ensure(&scenarios::narada_dbn_specs(msgs));
+    let mut f = Figure::new(
+        "fig9",
+        "Narada DBN tests, percentile of RTT (2000–4000 connections)",
+        "percentile",
+        "millisecond",
+    );
+    for r in &dbn {
+        f.push_series(
+            r.generators.to_string(),
+            r.summary
+                .percentiles_ms
+                .iter()
+                .map(|&(p, v)| (f64::from(p), v))
+                .collect(),
+        );
+    }
+    f
+}
+
+/// Fig 10 — R-GMA Primary + Secondary Producer percentile of RTT
+/// (seconds, as in the paper).
+pub fn fig10(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let results = campaign.ensure(&scenarios::rgma_secondary_specs(msgs));
+    let mut f = Figure::new(
+        "fig10",
+        "R-GMA Primary and Secondary Producer tests, percentile of RTT (50–200 connections)",
+        "percentile",
+        "second",
+    );
+    for r in results.iter().rev() {
+        f.push_series(
+            r.generators.to_string(),
+            r.summary
+                .percentiles_ms
+                .iter()
+                .map(|&(p, v)| (f64::from(p), (v / 100.0).round() / 10.0))
+                .collect(),
+        );
+    }
+    f
+}
+
+fn rgma_scalability(campaign: &mut Campaign, msgs: u32) -> (Vec<ExperimentResult>, Vec<ExperimentResult>) {
+    let single = campaign.ensure(&scenarios::rgma_single_specs(msgs));
+    let dist = campaign.ensure(&scenarios::rgma_distributed_specs(msgs));
+    (single, dist)
+}
+
+/// Fig 11 — R-GMA RTT and STDDEV vs connections (single vs distributed).
+pub fn fig11(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let (single, dist) = rgma_scalability(campaign, msgs);
+    let mut f = Figure::new(
+        "fig11",
+        "R-GMA Primary Producer and Consumer tests; RTT/STDDEV single server, RTT2/STDDEV2 distributed",
+        "concurrent connections",
+        "millisecond",
+    );
+    f.push_series(
+        "RTT",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_mean_ms.round()))
+            .collect(),
+    );
+    f.push_series(
+        "STDDEV",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_stddev_ms.round()))
+            .collect(),
+    );
+    f.push_series(
+        "RTT2",
+        dist.iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_mean_ms.round()))
+            .collect(),
+    );
+    f.push_series(
+        "STDDEV2",
+        dist.iter()
+            .map(|r| (r.generators as f64, r.summary.rtt_stddev_ms.round()))
+            .collect(),
+    );
+    f
+}
+
+/// Fig 12 — R-GMA single-server percentile of RTT per connection count.
+pub fn fig12(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let single = campaign.ensure(&scenarios::rgma_single_specs(msgs));
+    let mut f = Figure::new(
+        "fig12",
+        "R-GMA Primary Producer and Consumer single server tests, percentile of RTT (100–600)",
+        "percentile",
+        "millisecond",
+    );
+    for r in &single {
+        f.push_series(
+            r.generators.to_string(),
+            r.summary
+                .percentiles_ms
+                .iter()
+                .map(|&(p, v)| (f64::from(p), v.round()))
+                .collect(),
+        );
+    }
+    f
+}
+
+/// Fig 13 — R-GMA CPU idle and memory (single vs distributed).
+pub fn fig13(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let (single, dist) = rgma_scalability(campaign, msgs);
+    let mut f = Figure::new(
+        "fig13",
+        "R-GMA Consumer tests, CPU idle (%) and memory (MB); CPU/MEM single, CPU2/MEM2 distributed",
+        "concurrent connections",
+        "CPU idle % / memory (MB)",
+    );
+    f.push_series(
+        "CPU",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, (r.server_idle * 100.0).round()))
+            .collect(),
+    );
+    f.push_series(
+        "CPU2",
+        dist.iter()
+            .map(|r| (r.generators as f64, (r.server_idle * 100.0).round()))
+            .collect(),
+    );
+    f.push_series(
+        "MEM",
+        single
+            .iter()
+            .map(|r| (r.generators as f64, r.server_mem_mb.round()))
+            .collect(),
+    );
+    f.push_series(
+        "MEM2",
+        dist.iter()
+            .map(|r| (r.generators as f64, r.server_mem_mb.round()))
+            .collect(),
+    );
+    f
+}
+
+/// Fig 14 — R-GMA distributed percentile of RTT per connection count.
+pub fn fig14(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let dist = campaign.ensure(&scenarios::rgma_distributed_specs(msgs));
+    let mut f = Figure::new(
+        "fig14",
+        "R-GMA distributed network tests, percentile of RTT (400–1000)",
+        "percentile",
+        "millisecond",
+    );
+    for r in &dist {
+        f.push_series(
+            r.generators.to_string(),
+            r.summary
+                .percentiles_ms
+                .iter()
+                .map(|&(p, v)| (f64::from(p), v.round()))
+                .collect(),
+        );
+    }
+    f
+}
+
+/// Fig 15 — RTT decomposition (PRT / PT / SRT), cumulative phase plot.
+pub fn fig15(campaign: &mut Campaign, msgs: u32) -> Figure {
+    let results = campaign.ensure(&scenarios::fig15_specs(msgs));
+    let mut f = Figure::new(
+        "fig15",
+        "RTT decomposition: cumulative time at each phase boundary",
+        "phase (0=before_sending 1=after_sending 2=before_receiving 3=after_receiving)",
+        "millisecond",
+    );
+    for (label, r) in [("Narada", &results[0]), ("RGMA", &results[1])] {
+        let s = &r.summary;
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, s.prt_mean_ms),
+            (2.0, s.prt_mean_ms + s.pt_mean_ms),
+            (3.0, s.prt_mean_ms + s.pt_mean_ms + s.srt_mean_ms),
+        ];
+        f.push_series(label, pts);
+    }
+    f
+}
+
+/// Table III — qualitative comparison, derived from the measured data.
+pub fn table3(campaign: &mut Campaign, msgs: u32) -> Table {
+    let (nsingle, ndbn) = narada_scalability(campaign, msgs);
+    let (rsingle, rdist) = rgma_scalability(campaign, msgs);
+    let grade_rtt = |ms: f64| {
+        if ms < 50.0 {
+            "Very good"
+        } else if ms < 1000.0 {
+            "Good"
+        } else {
+            "Average"
+        }
+    };
+    // Scalability: how much extra capacity the distributed deployment
+    // adds, and at what cost.
+    let narada_rtt = nsingle.last().map(|r| r.summary.rtt_mean_ms).unwrap_or(0.0);
+    let rgma_rtt = rsingle.last().map(|r| r.summary.rtt_mean_ms).unwrap_or(0.0);
+    let narada_scal = if ndbn.iter().all(|r| r.refused == 0)
+        && ndbn.last().map(|r| r.summary.rtt_mean_ms).unwrap_or(0.0) <= narada_rtt * 1.5
+    {
+        "Average" // more connections, but no RTT benefit and wasted CPU
+    } else {
+        "Poor"
+    };
+    let rgma_scal = if rdist.iter().all(|r| r.refused == 0)
+        && rdist.last().map(|r| r.summary.rtt_mean_ms).unwrap_or(f64::MAX)
+            < rgma_rtt
+    {
+        "Very good"
+    } else {
+        "Good"
+    };
+    let mut t = Table::new(
+        "TABLE III — R-GMA and NaradaBrokering comparison (derived from measurements)",
+        &[
+            "",
+            "Real-time performance",
+            "Concurrent connections & throughput",
+            "Scalability",
+        ],
+    );
+    t.push_row(vec![
+        "R-GMA".into(),
+        grade_rtt(rgma_rtt).into(),
+        format!(
+            "Average (single server refuses near 800; mean RTT {} ms at 600)",
+            ms(rgma_rtt)
+        ),
+        rgma_scal.into(),
+    ]);
+    t.push_row(vec![
+        "Narada".into(),
+        grade_rtt(narada_rtt).into(),
+        format!(
+            "Very good ({} ms at 3000 connections)",
+            ms(narada_rtt)
+        ),
+        narada_scal.into(),
+    ]);
+    t
+}
+
+/// §III.F warm-up loss study: loss with and without the warm-up wait.
+pub fn rgma_warmup(campaign: &mut Campaign, msgs: u32) -> Table {
+    let no_warm = campaign.ensure(&[scenarios::rgma_no_warmup_spec(msgs)]);
+    let warm = campaign.ensure(&scenarios::rgma_single_specs(msgs));
+    let mut t = Table::new(
+        "§III.F — R-GMA warm-up loss (400 generators)",
+        &["configuration", "sent", "received", "loss"],
+    );
+    let r = &no_warm[0];
+    t.push_row(vec![
+        "publish immediately".into(),
+        r.summary.sent.to_string(),
+        r.summary.received.to_string(),
+        pct(r.summary.loss_rate),
+    ]);
+    let r400 = warm.iter().find(|r| r.generators == 400).expect("400 in series");
+    t.push_row(vec![
+        "wait 10-20s before publishing".into(),
+        r400.summary.sent.to_string(),
+        r400.summary.received.to_string(),
+        pct(r400.summary.loss_rate),
+    ]);
+    t
+}
+
+/// Ablation: DBN broadcast (v1.1.3) vs subscription-aware routing.
+pub fn ablation_routing(campaign: &mut Campaign, msgs: u32) -> Table {
+    let results = campaign.ensure(&scenarios::dbn_routing_ablation(msgs, 2000));
+    let mut t = Table::new(
+        "Ablation — DBN forwarding: v1.1.3 broadcast flood vs subscription-aware routing",
+        &["mode", "RTT (ms)", "inter-broker messages", "broker CPU idle"],
+    );
+    for r in &results {
+        t.push_row(vec![
+            if r.name.contains("broadcast") {
+                "broadcast (v1.1.3)".into()
+            } else {
+                "routed (fixed)".into()
+            },
+            ms(r.summary.rtt_mean_ms),
+            r.broker_forwards.to_string(),
+            pct(r.server_idle),
+        ]);
+    }
+    t
+}
+
+/// Ablation: the Secondary Producer's deliberate 30 s delay.
+pub fn ablation_secondary(campaign: &mut Campaign, msgs: u32) -> Table {
+    let results = campaign.ensure(&scenarios::secondary_delay_ablation(msgs));
+    let mut t = Table::new(
+        "Ablation — Secondary Producer deliberate batch delay",
+        &["flush", "mean RTT (ms)", "p100 (ms)"],
+    );
+    for r in &results {
+        t.push_row(vec![
+            if r.name.contains("30s") { "30 s (gLite 3.0)".into() } else { "0.5 s".into() },
+            ms(r.summary.rtt_mean_ms),
+            ms(r.summary.percentiles_ms.last().map(|p| p.1).unwrap_or(0.0)),
+        ]);
+    }
+    t
+}
+
+/// Ablation: subscriber poll period.
+pub fn ablation_poll(campaign: &mut Campaign, msgs: u32) -> Table {
+    let results = campaign.ensure(&scenarios::poll_period_ablation(msgs));
+    let mut t = Table::new(
+        "Ablation — subscriber poll period (the paper's 100 ms quantization)",
+        &["poll period", "mean RTT (ms)", "mean SRT (ms)"],
+    );
+    for r in &results {
+        let label = r.name.trim_start_matches("ablation/poll-").to_owned();
+        t.push_row(vec![
+            label,
+            ms(r.summary.rtt_mean_ms),
+            ms(r.summary.srt_mean_ms),
+        ]);
+    }
+    t
+}
+
+/// Ablation: sender-side message aggregation (related work: IBM RMM).
+pub fn ablation_aggregation(campaign: &mut Campaign, msgs: u32) -> Table {
+    let results = campaign.ensure(&scenarios::aggregation_ablation(msgs, 800));
+    let mut t = Table::new(
+        "Ablation — message aggregation at constant byte rate (RMM, related work §IV)",
+        &[
+            "readings per message",
+            "wire messages",
+            "mean RTT (ms)",
+            "broker CPU idle",
+        ],
+    );
+    for r in &results {
+        let k = r.name.trim_start_matches("ablation/aggregate-").to_owned();
+        t.push_row(vec![
+            k,
+            r.summary.sent.to_string(),
+            ms(r.summary.rtt_mean_ms),
+            pct(r.server_idle),
+        ]);
+    }
+    t
+}
+
+/// Paper-facts summary checked against measurements (the EXPERIMENTS.md
+/// rows). Returns (claim, paper value, measured value, holds?).
+pub fn headline_checks(campaign: &mut Campaign, msgs: u32) -> Vec<(String, String, String, bool)> {
+    let t2 = campaign.ensure(&scenarios::table2_specs(msgs));
+    let (nsingle, ndbn) = narada_scalability(campaign, msgs);
+    let (rsingle, rdist) = rgma_scalability(campaign, msgs);
+    let n4000 = campaign.ensure(&[scenarios::narada_single_4000(msgs)]);
+    let r800 = campaign.ensure(&[scenarios::rgma_single_800(msgs)]);
+    let sec = campaign.ensure(&scenarios::rgma_secondary_specs(msgs));
+    let mut checks = Vec::new();
+
+    let udp = &t2[0].summary;
+    let tcp = &t2[3].summary;
+    checks.push((
+        "UDP slower than TCP (fig 3)".into(),
+        "12 ms vs 4 ms".into(),
+        format!("{} ms vs {} ms", ms(udp.rtt_mean_ms), ms(tcp.rtt_mean_ms)),
+        udp.rtt_mean_ms > tcp.rtt_mean_ms * 1.3,
+    ));
+    checks.push((
+        "UDP AUTO loss ≈ 0.06 %".into(),
+        "0.06 %".into(),
+        pct(udp.loss_rate),
+        udp.loss_rate > 0.0001 && udp.loss_rate < 0.002,
+    ));
+    checks.push((
+        "TCP loss zero".into(),
+        "0".into(),
+        pct(tcp.loss_rate),
+        tcp.loss_rate == 0.0,
+    ));
+    let within = nsingle
+        .iter()
+        .map(|r| r.summary.within_100ms)
+        .fold(f64::INFINITY, f64::min);
+    checks.push((
+        "99.8 % of Narada messages within 100 ms".into(),
+        "99.8 %".into(),
+        pct(within),
+        within > 0.99,
+    ));
+    let growth = nsingle.last().unwrap().summary.rtt_mean_ms
+        / nsingle.first().unwrap().summary.rtt_mean_ms;
+    checks.push((
+        "smooth RTT increase with connections (fig 7)".into(),
+        "~5x from 500→3000".into(),
+        format!("{:.1}x", growth),
+        growth > 2.0 && growth < 10.0,
+    ));
+    checks.push((
+        "single broker cannot accept 4000 connections".into(),
+        "refused".into(),
+        format!("{} refused", n4000[0].refused),
+        n4000[0].refused > 0,
+    ));
+    checks.push((
+        "DBN accepts 4000+ connections".into(),
+        "accepted".into(),
+        format!("{} refused", ndbn.last().unwrap().refused),
+        ndbn.last().unwrap().refused == 0,
+    ));
+    checks.push((
+        "DBN no faster than single server (broadcast deficiency)".into(),
+        "RTT2 ≥ RTT".into(),
+        format!(
+            "{} ms vs {} ms at 3000",
+            ms(ndbn[1].summary.rtt_mean_ms),
+            ms(nsingle[3].summary.rtt_mean_ms)
+        ),
+        ndbn[1].summary.rtt_mean_ms > nsingle[3].summary.rtt_mean_ms * 0.5,
+    ));
+    let rgma600 = rsingle.last().unwrap();
+    checks.push((
+        "R-GMA RTT ≫ Narada RTT".into(),
+        "seconds vs milliseconds".into(),
+        format!(
+            "{} ms vs {} ms",
+            ms(rgma600.summary.rtt_mean_ms),
+            ms(nsingle[1].summary.rtt_mean_ms)
+        ),
+        rgma600.summary.rtt_mean_ms > 50.0 * nsingle[1].summary.rtt_mean_ms,
+    ));
+    checks.push((
+        "99 % of R-GMA messages within 4000 ms".into(),
+        "p99 ≤ ~4000 ms".into(),
+        format!(
+            "p99 = {} ms at 600",
+            ms(rgma600
+                .summary
+                .percentiles_ms
+                .iter()
+                .find(|p| p.0 == 99)
+                .map(|p| p.1)
+                .unwrap_or(0.0))
+        ),
+        rgma600
+            .summary
+            .percentiles_ms
+            .iter()
+            .find(|p| p.0 == 99)
+            .map(|p| p.1)
+            .unwrap_or(f64::MAX)
+            < 8000.0,
+    ));
+    checks.push((
+        "one R-GMA server cannot accept 800 connections".into(),
+        "refused".into(),
+        format!("{} refused", r800[0].refused),
+        r800[0].refused > 0,
+    ));
+    checks.push((
+        "distributed R-GMA accepts 1000 and outperforms single".into(),
+        "RTT2 < RTT, no refusals".into(),
+        format!(
+            "{} ms vs {} ms, {} refused",
+            ms(rdist.last().unwrap().summary.rtt_mean_ms),
+            ms(rgma600.summary.rtt_mean_ms),
+            rdist.last().unwrap().refused
+        ),
+        rdist.last().unwrap().refused == 0
+            && rdist.last().unwrap().summary.rtt_mean_ms < rgma600.summary.rtt_mean_ms,
+    ));
+    checks.push((
+        "Secondary Producer delays up to ~35 s (fig 10)".into(),
+        "25-35 s".into(),
+        format!(
+            "p100 = {:.1} s",
+            sec.last()
+                .unwrap()
+                .summary
+                .percentiles_ms
+                .last()
+                .map(|p| p.1 / 1000.0)
+                .unwrap_or(0.0)
+        ),
+        {
+            let p100 = sec
+                .last()
+                .unwrap()
+                .summary
+                .percentiles_ms
+                .last()
+                .map(|p| p.1)
+                .unwrap_or(0.0);
+            (25_000.0..45_000.0).contains(&p100)
+        },
+    ));
+    let fig15 = campaign.ensure(&scenarios::fig15_specs(msgs));
+    let rg = &fig15[1].summary;
+    checks.push((
+        "R-GMA Process Time dominates RTT (fig 15)".into(),
+        "PT ≫ PRT, SRT".into(),
+        format!(
+            "PRT {} / PT {} / SRT {} ms",
+            ms(rg.prt_mean_ms),
+            ms(rg.pt_mean_ms),
+            ms(rg.srt_mean_ms)
+        ),
+        rg.pt_mean_ms > rg.prt_mean_ms && rg.pt_mean_ms > rg.srt_mean_ms,
+    ));
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_and_fig5_are_static() {
+        assert!(table1().render().contains("PentiumIII"));
+        assert!(fig5().render().contains("unit controller"));
+    }
+
+    #[test]
+    fn artifacts_build_at_tiny_scale() {
+        let mut c = Campaign::new(0);
+        let t2 = table2(&mut c, 2);
+        assert_eq!(t2.rows.len(), 6);
+        let f3 = fig3(&mut c, 2);
+        assert_eq!(f3.series.len(), 2);
+        let f4 = fig4(&mut c, 2);
+        assert_eq!(f4.series.len(), 5);
+        // fig3/fig4 reuse the table2 runs.
+        assert_eq!(c.runs(), 6);
+        let f15 = fig15(&mut c, 2);
+        assert_eq!(f15.series.len(), 2);
+        // Cumulative phases are non-decreasing.
+        for s in &f15.series {
+            for w in s.points.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Memoized parallel execution of experiment specs.
+
+use gridmon_core::{run_all, ExperimentResult, ExperimentSpec};
+use std::collections::HashMap;
+
+/// Runs specs on demand, caching results by spec name so artifacts that
+/// share runs (fig 3 / fig 4; figs 6–9) pay for them once.
+pub struct Campaign {
+    threads: usize,
+    results: HashMap<String, ExperimentResult>,
+    /// Wall-clock seconds spent running experiments.
+    pub wall_seconds: f64,
+}
+
+impl Campaign {
+    /// New campaign; `threads = 0` uses all cores.
+    pub fn new(threads: usize) -> Self {
+        Campaign {
+            threads,
+            results: HashMap::new(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Ensure every spec has been run; returns results in spec order.
+    pub fn ensure(&mut self, specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
+        let missing: Vec<ExperimentSpec> = specs
+            .iter()
+            .filter(|s| !self.results.contains_key(&s.name))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            let t0 = std::time::Instant::now();
+            for r in run_all(&missing, self.threads) {
+                self.results.insert(r.name.clone(), r);
+            }
+            self.wall_seconds += t0.elapsed().as_secs_f64();
+        }
+        specs
+            .iter()
+            .map(|s| self.results[&s.name].clone())
+            .collect()
+    }
+
+    /// Number of distinct experiments run so far.
+    pub fn runs(&self) -> usize {
+        self.results.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmon_core::SystemUnderTest;
+
+    #[test]
+    fn memoizes_by_name() {
+        let mut c = Campaign::new(2);
+        let spec =
+            ExperimentSpec::paper_default("memo", SystemUnderTest::NaradaSingle, 4).scaled(2);
+        let a = c.ensure(std::slice::from_ref(&spec));
+        assert_eq!(c.runs(), 1);
+        let b = c.ensure(std::slice::from_ref(&spec));
+        assert_eq!(c.runs(), 1, "second call hits the cache");
+        assert_eq!(a[0].summary.sent, b[0].summary.sent);
+    }
+}

@@ -1,0 +1,227 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale N] [--threads N] [--out DIR] <artifact>...
+//!
+//! artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!            fig10 fig11 fig12 fig13 fig14 fig15 rgma-warmup
+//!            ablation-routing ablation-secondary ablation-poll
+//!            checks all
+//!
+//! --scale N    messages per generator (default 180 = the paper's 30 min)
+//! --threads N  worker threads (default: all cores)
+//! --out DIR    also write CSV files under DIR (default: results/)
+//! ```
+
+use harness::{artifacts, Campaign};
+use std::io::Write;
+
+struct Options {
+    scale: u32,
+    threads: usize,
+    out: Option<std::path::PathBuf>,
+    artifacts: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = 180u32;
+    let mut threads = 0usize;
+    let mut out = Some(std::path::PathBuf::from("results"));
+    let mut artifacts = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--out" => {
+                out = Some(std::path::PathBuf::from(
+                    args.next().ok_or("--out needs a value")?,
+                ));
+            }
+            "--no-csv" => out = None,
+            "--help" | "-h" => {
+                artifacts.push("help".to_owned());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            name => artifacts.push(name.to_owned()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("help".to_owned());
+    }
+    Ok(Options {
+        scale,
+        threads,
+        out,
+        artifacts,
+    })
+}
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "table3", "rgma-warmup", "ablation-routing",
+    "ablation-secondary", "ablation-poll", "ablation-aggregation", "checks",
+];
+
+fn write_csv(out: &Option<std::path::PathBuf>, name: &str, csv: &str) {
+    let Some(dir) = out else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = f.write_all(csv.as_bytes());
+        }
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if opts.artifacts.iter().any(|a| a == "help") {
+        eprintln!(
+            "repro — regenerate the IPPS 2007 pub/sub study artifacts\n\n\
+             usage: repro [--scale N] [--threads N] [--out DIR | --no-csv] <artifact>...\n\n\
+             artifacts: {} all",
+            ALL.join(" ")
+        );
+        return;
+    }
+    let names: Vec<String> = if opts.artifacts.iter().any(|a| a == "all") {
+        ALL.iter().map(|s| (*s).to_owned()).collect()
+    } else {
+        opts.artifacts.clone()
+    };
+
+    let mut campaign = Campaign::new(opts.threads);
+    let scale = opts.scale;
+    let t0 = std::time::Instant::now();
+    for name in &names {
+        match name.as_str() {
+            "table1" => {
+                let t = artifacts::table1();
+                println!("{}", t.render());
+                write_csv(&opts.out, "table1", &t.to_csv());
+            }
+            "table2" => {
+                let t = artifacts::table2(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "table2", &t.to_csv());
+            }
+            "table3" => {
+                let t = artifacts::table3(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "table3", &t.to_csv());
+            }
+            "fig3" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig3),
+            "fig4" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig4),
+            "fig5" => {
+                let t = artifacts::fig5();
+                println!("{}", t.render());
+                write_csv(&opts.out, "fig5", &t.to_csv());
+            }
+            "fig6" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig6),
+            "fig7" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig7),
+            "fig8" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig8),
+            "fig9" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig9),
+            "fig10" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig10),
+            "fig11" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig11),
+            "fig12" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig12),
+            "fig13" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig13),
+            "fig14" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig14),
+            "fig15" => emit_fig(&mut campaign, scale, &opts.out, artifacts::fig15),
+            "rgma-warmup" => {
+                let t = artifacts::rgma_warmup(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "rgma-warmup", &t.to_csv());
+            }
+            "ablation-routing" => {
+                let t = artifacts::ablation_routing(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "ablation-routing", &t.to_csv());
+            }
+            "ablation-secondary" => {
+                let t = artifacts::ablation_secondary(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "ablation-secondary", &t.to_csv());
+            }
+            "ablation-poll" => {
+                let t = artifacts::ablation_poll(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "ablation-poll", &t.to_csv());
+            }
+            "ablation-aggregation" => {
+                let t = artifacts::ablation_aggregation(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "ablation-aggregation", &t.to_csv());
+            }
+            "checks" => {
+                let checks = artifacts::headline_checks(&mut campaign, scale);
+                let mut table = telemetry::Table::new(
+                    "Paper findings vs measurements",
+                    &["claim", "paper", "measured", "holds"],
+                );
+                let mut failures = 0;
+                for (claim, paper, measured, holds) in checks {
+                    if !holds {
+                        failures += 1;
+                    }
+                    table.push_row(vec![
+                        claim,
+                        paper,
+                        measured,
+                        if holds { "yes".into() } else { "NO".into() },
+                    ]);
+                }
+                println!("{}", table.render());
+                write_csv(&opts.out, "checks", &table.to_csv());
+                if failures > 0 {
+                    eprintln!("{failures} checks failed");
+                }
+            }
+            other => {
+                eprintln!("unknown artifact {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "{} experiments, {:.1}s simulated-experiment wall time, {:.1}s total",
+        campaign.runs(),
+        campaign.wall_seconds,
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn emit_fig(
+    campaign: &mut Campaign,
+    scale: u32,
+    out: &Option<std::path::PathBuf>,
+    f: fn(&mut Campaign, u32) -> telemetry::Figure,
+) {
+    let fig = f(campaign, scale);
+    println!("{}", fig.render());
+    write_csv(out, &fig.id.clone(), &fig.to_csv());
+}

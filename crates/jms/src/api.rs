@@ -1,0 +1,188 @@
+//! JMS API-level types shared by brokers and clients: destinations,
+//! acknowledgement modes, compiled selectors, and subscription
+//! descriptors.
+
+use crate::selector::{self, Expr, ParseError};
+use simcore::SimDuration;
+use wire::Message;
+
+/// JMS acknowledgement modes exercised by the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Session acknowledges each message automatically as it is delivered
+    /// (the paper's default).
+    #[default]
+    Auto,
+    /// Application acknowledges explicitly; acks are batched (the paper's
+    /// "UDP CLI" test used CLIENT_ACKNOWLEDGE).
+    Client,
+    /// Lazy acknowledgement permitting duplicates.
+    DupsOk,
+}
+
+/// A JMS destination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Destination {
+    /// Pub/sub topic.
+    Topic(String),
+    /// Point-to-point queue.
+    Queue(String),
+}
+
+impl Destination {
+    /// Destination name.
+    pub fn name(&self) -> &str {
+        match self {
+            Destination::Topic(s) | Destination::Queue(s) => s,
+        }
+    }
+
+    /// True for topics.
+    pub fn is_topic(&self) -> bool {
+        matches!(self, Destination::Topic(_))
+    }
+}
+
+impl std::fmt::Display for Destination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Destination::Topic(s) => write!(f, "topic:{s}"),
+            Destination::Queue(s) => write!(f, "queue:{s}"),
+        }
+    }
+}
+
+/// A compiled message selector: source text, AST, and a CPU cost model
+/// for one evaluation (charged to the broker node per candidate message).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selector {
+    text: String,
+    expr: Expr,
+    nodes: usize,
+}
+
+impl Selector {
+    /// Compile a selector. Empty/whitespace text matches everything.
+    pub fn compile(text: &str) -> Result<Selector, ParseError> {
+        let expr = selector::parse(text)?;
+        let nodes = expr.node_count();
+        Ok(Selector {
+            text: text.to_owned(),
+            expr,
+            nodes,
+        })
+    }
+
+    /// The match-everything selector.
+    pub fn match_all() -> Selector {
+        Selector::compile("").expect("empty selector compiles")
+    }
+
+    /// Source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Compiled AST.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Does `msg` match? (UNKNOWN rejects, per JMS.)
+    pub fn matches(&self, msg: &Message) -> bool {
+        selector::matches(&self.expr, msg)
+    }
+
+    /// CPU cost of one evaluation on the reference node (Pentium III):
+    /// a small fixed dispatch cost plus a per-AST-node term.
+    pub fn eval_cost(&self) -> SimDuration {
+        SimDuration::from_micros(2 + 2 * self.nodes as u64)
+    }
+}
+
+/// A topic subscription as registered with a broker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionDesc {
+    /// Destination subscribed to.
+    pub destination: Destination,
+    /// Message filter.
+    pub selector: Selector,
+    /// Durable subscriptions survive disconnect (paper: non-durable).
+    pub durable: bool,
+    /// Suppress messages published on the same connection.
+    pub no_local: bool,
+}
+
+impl SubscriptionDesc {
+    /// Non-durable subscription with the given selector — the study's
+    /// configuration.
+    pub fn new(destination: Destination, selector: Selector) -> Self {
+        SubscriptionDesc {
+            destination,
+            selector,
+            durable: false,
+            no_local: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+    use wire::{Headers, MessageId};
+
+    #[test]
+    fn destination_accessors() {
+        let t = Destination::Topic("power".into());
+        assert!(t.is_topic());
+        assert_eq!(t.name(), "power");
+        assert_eq!(format!("{t}"), "topic:power");
+        let q = Destination::Queue("jobs".into());
+        assert!(!q.is_topic());
+        assert_eq!(format!("{q}"), "queue:jobs");
+    }
+
+    #[test]
+    fn selector_compile_and_match() {
+        let s = Selector::compile("id < 10000").unwrap();
+        let m = Message::text(
+            Headers::new(MessageId(1), "power", SimTime::ZERO),
+            "x",
+        )
+        .with_property("id", 5i32);
+        assert!(s.matches(&m));
+        assert_eq!(s.text(), "id < 10000");
+        assert!(s.eval_cost() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn match_all_matches_propertyless_messages() {
+        let s = Selector::match_all();
+        let m = Message::text(Headers::new(MessageId(1), "t", SimTime::ZERO), "x");
+        assert!(s.matches(&m));
+    }
+
+    #[test]
+    fn bad_selector_is_error() {
+        assert!(Selector::compile("id <").is_err());
+    }
+
+    #[test]
+    fn eval_cost_scales_with_complexity() {
+        let simple = Selector::compile("a = 1").unwrap();
+        let complex =
+            Selector::compile("a = 1 AND b = 2 AND c LIKE 'x%' AND d BETWEEN 1 AND 9").unwrap();
+        assert!(complex.eval_cost() > simple.eval_cost());
+    }
+
+    #[test]
+    fn subscription_defaults() {
+        let sub = SubscriptionDesc::new(
+            Destination::Topic("power".into()),
+            Selector::match_all(),
+        );
+        assert!(!sub.durable);
+        assert!(!sub.no_local);
+    }
+}

@@ -1,0 +1,12 @@
+//! The JMS message-selector language: lexer, parser, AST, and
+//! three-valued evaluator.
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ArithOp, CmpOp, Expr};
+pub use eval::{eval, like_match, matches, PropertySource};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,93 @@
+//! Property tests for the selector language.
+
+use jms::selector::{eval, lex, parse};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wire::Value;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        proptest::num::f64::NORMAL.prop_map(Value::Double),
+        "[a-z%_]{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Generate syntactically valid selectors by construction.
+fn arb_selector() -> impl Strategy<Value = String> {
+    let ident = "[a-c]";
+    let atom = prop_oneof![
+        (ident, -100i64..100).prop_map(|(id, n)| format!("{id} < {n}")),
+        (ident, -100i64..100).prop_map(|(id, n)| format!("{id} = {n}")),
+        (ident, "[a-z]{0,4}").prop_map(|(id, s)| format!("{id} = '{s}'")),
+        (ident, "[a-z%_]{0,6}").prop_map(|(id, p)| format!("{id} LIKE '{p}'")),
+        (ident, -50i64..0, 0i64..50)
+            .prop_map(|(id, lo, hi)| format!("{id} BETWEEN {lo} AND {hi}")),
+        ident.prop_map(|id| format!("{id} IS NULL")),
+        (ident, "[a-z]{1,3}", "[a-z]{1,3}")
+            .prop_map(|(id, a, b)| format!("{id} IN ('{a}', '{b}')")),
+    ];
+    let leaf = atom.boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) AND ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) OR ({b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(s in "[ -~]{0,128}") {
+        let _ = lex(&s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[ -~]{0,128}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn constructed_selectors_parse(s in arb_selector()) {
+        parse(&s).unwrap_or_else(|e| panic!("{s:?} failed: {e}"));
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast(s in arb_selector()) {
+        let ast = parse(&s).unwrap();
+        let printed = format!("{ast}");
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form {printed:?} failed: {e}"));
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn eval_never_panics_and_is_deterministic(
+        s in arb_selector(),
+        props in proptest::collection::btree_map("[a-c]", arb_value(), 0..4),
+    ) {
+        let ast = parse(&s).unwrap();
+        let props: BTreeMap<String, Value> = props;
+        let r1 = eval(&ast, &props);
+        let r2 = eval(&ast, &props);
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn not_inverts_definite_results(
+        s in arb_selector(),
+        props in proptest::collection::btree_map("[a-c]", arb_value(), 0..4),
+    ) {
+        let ast = parse(&s).unwrap();
+        let negated = parse(&format!("NOT ({s})")).unwrap();
+        let props: BTreeMap<String, Value> = props;
+        match (eval(&ast, &props), eval(&negated, &props)) {
+            (Some(a), Some(b)) => prop_assert_eq!(a, !b),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "NOT broke three-valued logic: {:?} vs {:?}", a, b),
+        }
+    }
+}

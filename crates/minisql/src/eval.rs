@@ -1,0 +1,153 @@
+//! Predicate evaluation over rows (three-valued SQL semantics) and the
+//! CPU cost model for query execution on the reference node.
+
+use crate::ast::{CmpOp, Predicate};
+use crate::schema::TableSchema;
+use simcore::SimDuration;
+use wire::Value;
+
+/// Evaluate a predicate against a row. `None` = UNKNOWN (incomparable
+/// kinds); rows match only on `Some(true)`, as in SQL.
+pub fn eval_predicate(pred: &Predicate, schema: &TableSchema, row: &[Value]) -> Option<bool> {
+    match pred {
+        Predicate::Const(b) => Some(*b),
+        Predicate::Cmp { column, op, value } => {
+            let ix = schema.column_index(column)?;
+            let cell = row.get(ix)?;
+            let ord = cell.sql_cmp(value)?;
+            Some(match op {
+                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            })
+        }
+        Predicate::And(a, b) => {
+            match (
+                eval_predicate(a, schema, row),
+                eval_predicate(b, schema, row),
+            ) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }
+        }
+        Predicate::Or(a, b) => {
+            match (
+                eval_predicate(a, schema, row),
+                eval_predicate(b, schema, row),
+            ) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            }
+        }
+        Predicate::Not(a) => eval_predicate(a, schema, row).map(|b| !b),
+    }
+}
+
+/// True iff the row definitely satisfies the predicate (`None` = no
+/// predicate = match all).
+pub fn row_matches(pred: Option<&Predicate>, schema: &TableSchema, row: &[Value]) -> bool {
+    match pred {
+        None => true,
+        Some(p) => eval_predicate(p, schema, row) == Some(true),
+    }
+}
+
+/// CPU cost of evaluating a predicate once on the reference node.
+pub fn predicate_cost(pred: Option<&Predicate>) -> SimDuration {
+    match pred {
+        None => SimDuration::from_micros(1),
+        Some(p) => SimDuration::from_micros(2 + 2 * p.node_count() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Statement;
+    use crate::parser::parse;
+    use crate::schema::Catalog;
+
+    fn setup() -> (Catalog, Vec<Value>) {
+        let mut c = Catalog::new();
+        c.create(&parse("CREATE TABLE g (id INTEGER, power DOUBLE, site CHAR(8))").unwrap())
+            .unwrap();
+        let row = vec![
+            Value::Int(42),
+            Value::Double(850.5),
+            Value::fixed_char("hydra1", 8),
+        ];
+        (c, row)
+    }
+
+    fn pred(sql: &str) -> Predicate {
+        let Statement::Select { predicate, .. } =
+            parse(&format!("SELECT * FROM g WHERE {sql}")).unwrap()
+        else {
+            panic!()
+        };
+        predicate.unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let (c, row) = setup();
+        let s = c.table("g").unwrap();
+        assert_eq!(eval_predicate(&pred("id = 42"), s, &row), Some(true));
+        assert_eq!(eval_predicate(&pred("id <> 42"), s, &row), Some(false));
+        assert_eq!(eval_predicate(&pred("power > 850"), s, &row), Some(true));
+        assert_eq!(eval_predicate(&pred("power <= 850"), s, &row), Some(false));
+        assert_eq!(eval_predicate(&pred("site = 'hydra1'"), s, &row), Some(true));
+        assert_eq!(eval_predicate(&pred("site < 'z'"), s, &row), Some(true));
+    }
+
+    #[test]
+    fn logic_and_unknown() {
+        let (c, row) = setup();
+        let s = c.table("g").unwrap();
+        assert_eq!(
+            eval_predicate(&pred("id = 42 AND power > 0"), s, &row),
+            Some(true)
+        );
+        assert_eq!(
+            eval_predicate(&pred("id = 0 OR power > 0"), s, &row),
+            Some(true)
+        );
+        assert_eq!(eval_predicate(&pred("NOT id = 42"), s, &row), Some(false));
+        // Type mismatch → UNKNOWN; AND false short-circuits it away.
+        assert_eq!(eval_predicate(&pred("id = 'x'"), s, &row), None);
+        assert_eq!(
+            eval_predicate(&pred("id = 'x' AND id = 0"), s, &row),
+            Some(false)
+        );
+        assert_eq!(
+            eval_predicate(&pred("id = 'x' OR id = 42"), s, &row),
+            Some(true)
+        );
+        // Unknown column → UNKNOWN (registry mismatch safety).
+        let p = Predicate::Cmp {
+            column: "ghost".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        };
+        assert_eq!(eval_predicate(&p, s, &row), None);
+    }
+
+    #[test]
+    fn row_matches_semantics() {
+        let (c, row) = setup();
+        let s = c.table("g").unwrap();
+        assert!(row_matches(None, s, &row));
+        assert!(row_matches(Some(&pred("id = 42")), s, &row));
+        assert!(!row_matches(Some(&pred("id = 'x'")), s, &row), "UNKNOWN rejects");
+    }
+
+    #[test]
+    fn cost_scales() {
+        assert!(predicate_cost(Some(&pred("id = 1 AND power > 2"))) > predicate_cost(None));
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # minisql — the SQL subset behind the R-GMA virtual database
+//!
+//! R-GMA presents the Grid as one large relational database: producers
+//! `INSERT`, consumers `SELECT`, and the middleware mediates. This crate
+//! implements the SQL surface the paper's tests exercise:
+//!
+//! * `CREATE TABLE` with `INTEGER`/`BIGINT`/`REAL`/`DOUBLE
+//!   PRECISION`/`CHAR(n)`/`VARCHAR(n)` columns,
+//! * `INSERT INTO … VALUES …` with validation, coercion and width checks,
+//! * `SELECT cols FROM t WHERE …` with three-valued predicates,
+//!
+//! plus a per-evaluation CPU cost model charged to R-GMA server nodes.
+//! (Joins and aggregate functions are outside the study's workload and are
+//! deliberately not implemented; R-GMA query *types* — latest, history,
+//! continuous — are API-level concepts implemented in the `rgma` crate.)
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod schema;
+
+pub use ast::{CmpOp, ColumnDef, Predicate, SqlType, Statement};
+pub use eval::{eval_predicate, predicate_cost, row_matches};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse, ParseError};
+pub use schema::{Catalog, SchemaError, TableSchema};

@@ -1,0 +1,608 @@
+//! The broker actor: connection acceptance (thread-per-connection),
+//! subscription matching, delivery, the UDP reliability layer, and
+//! forwarding across the broker network.
+
+use crate::config::NaradaConfig;
+use crate::matching::{MatchedDelivery, MatchingEngine};
+use crate::protocol::{
+    deliver_bytes, BrokerToBroker, BrokerToClient, ClientToBroker, CONTROL_FRAME_BYTES,
+};
+use jms::{AckMode, Selector};
+use simcore::{Actor, ActorId, Context, Payload, SimDuration, SimTime};
+use simnet::{ConnId, Delivery, Endpoint, NetworkFabric, Transport};
+use simos::{NodeId, OsModel, ProcessId};
+use std::collections::HashMap;
+use telemetry::ProbeId;
+use wire::Message;
+
+/// Control messages delivered directly (not over the network) from the
+/// deployment layer.
+pub enum BrokerControl {
+    /// Configure the broker-network peer links of this broker.
+    SetPeers {
+        /// This broker's index in the network.
+        my_ix: u16,
+        /// (peer index, connection to it).
+        peers: Vec<(u16, ConnId)>,
+    },
+}
+
+/// Broker statistics, readable after a run via [`Broker::stats_handle`].
+#[derive(Debug, Default, Clone)]
+pub struct BrokerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused (OOM).
+    pub refused: u64,
+    /// Messages published to this broker by clients.
+    pub published: u64,
+    /// Deliveries sent to local subscribers.
+    pub delivered: u64,
+    /// Messages forwarded to peer brokers.
+    pub forwarded: u64,
+    /// Messages received from peer brokers.
+    pub from_peers: u64,
+    /// Acknowledgements processed.
+    pub acks: u64,
+    /// Duplicate publishes filtered.
+    pub dup_publishes: u64,
+    /// Deliveries retransmitted (CLIENT-ack gap recovery).
+    pub retransmissions: u64,
+}
+
+/// Shared handle for reading a broker's stats after the simulation.
+pub type StatsHandle = std::rc::Rc<std::cell::RefCell<BrokerStats>>;
+
+struct ConnState {
+    transport: Transport,
+    /// Highest publish seq seen (duplicate filter).
+    last_pub_seq: Option<u64>,
+    /// Pending (unacked) deliveries for CLIENT-ack UDP gap recovery,
+    /// keyed by delivery seq. Bounded by the ack flush interval.
+    pending: HashMap<u64, PendingDelivery>,
+    /// Highest delivery seq ever sent on this connection.
+    max_sent_seq: Option<u64>,
+}
+
+struct PendingDelivery {
+    sub_id: u32,
+    probe: ProbeId,
+    message: Message,
+    retransmitted: bool,
+}
+
+/// The broker actor.
+pub struct Broker {
+    cfg: NaradaConfig,
+    node: NodeId,
+    proc: ProcessId,
+    endpoint: Endpoint, // actor id filled in on_start
+    engine: MatchingEngine,
+    conns: HashMap<ConnId, ConnState>,
+    my_ix: u16,
+    peers: Vec<(u16, ConnId)>,
+    /// Peer broker index → topics it has local interest in (routed mode).
+    peer_interests: HashMap<u16, Vec<String>>,
+    /// Next sequence number for messages this broker originates.
+    next_fwd_seq: u64,
+    /// Flood dedup: (origin broker, seq) already processed.
+    seen_forwards: std::collections::HashSet<(u16, u64)>,
+    stats: StatsHandle,
+}
+
+impl Broker {
+    /// Create a broker to be hosted on `node` inside process `proc`.
+    pub fn new(cfg: NaradaConfig, node: NodeId, proc: ProcessId) -> Self {
+        Broker {
+            cfg,
+            node,
+            proc,
+            endpoint: Endpoint::new(node, ActorId::NONE),
+            engine: MatchingEngine::new(),
+            conns: HashMap::new(),
+            my_ix: 0,
+            peers: Vec::new(),
+            peer_interests: HashMap::new(),
+            next_fwd_seq: 0,
+            seen_forwards: std::collections::HashSet::new(),
+            stats: StatsHandle::default(),
+        }
+    }
+
+    /// Handle to this broker's statistics (clone before `add_actor`).
+    pub fn stats_handle(&self) -> StatsHandle {
+        self.stats.clone()
+    }
+
+    /// The node this broker runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
+        let node = self.node;
+        ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), cost))
+    }
+
+    fn per_byte(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros(
+            (bytes as u64 * self.cfg.costs.broker_per_byte_ns).div_ceil(1000),
+        )
+    }
+
+    fn send_to_client(
+        &self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        bytes: usize,
+        msg: BrokerToClient,
+        at: SimTime,
+    ) {
+        let ep = self.endpoint;
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send_at(ctx, conn, ep, bytes, Box::new(msg), at);
+        });
+    }
+
+    fn on_connect(&mut self, ctx: &mut Context<'_>, conn: ConnId, transport: Transport) {
+        let accept_result = ctx.with_service::<OsModel, _>(|os, _| {
+            os.spawn_thread(self.proc)
+                .and_then(|()| match os.alloc(self.proc, self.cfg.memory.heap_per_conn) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        os.kill_thread(self.proc);
+                        Err(e)
+                    }
+                })
+        });
+        match accept_result {
+            Ok(()) => {
+                let done = self.cpu(ctx, self.cfg.costs.broker_accept);
+                self.conns.insert(
+                    conn,
+                    ConnState {
+                        transport,
+                        last_pub_seq: None,
+                        pending: HashMap::new(),
+                        max_sent_seq: None,
+                    },
+                );
+                self.stats.borrow_mut().accepted += 1;
+                self.send_to_client(
+                    ctx,
+                    conn,
+                    CONTROL_FRAME_BYTES,
+                    BrokerToClient::ConnectOk,
+                    done,
+                );
+            }
+            Err(e) => {
+                self.stats.borrow_mut().refused += 1;
+                let now = ctx.now();
+                self.send_to_client(
+                    ctx,
+                    conn,
+                    CONTROL_FRAME_BYTES,
+                    BrokerToClient::ConnectRefused {
+                        reason: e.to_string(),
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    fn on_disconnect(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        if self.conns.remove(&conn).is_some() {
+            let heap = self.cfg.memory.heap_per_conn;
+            ctx.with_service::<OsModel, _>(|os, _| {
+                os.kill_thread(self.proc);
+                os.free(self.proc, heap);
+            });
+            self.engine.drop_connection(conn);
+            self.gossip_interests(ctx);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_subscribe(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        sub_id: u32,
+        topic: String,
+        selector: String,
+        ack_mode: AckMode,
+        queue: bool,
+    ) {
+        let selector = Selector::compile(&selector).unwrap_or_else(|e| {
+            // Real JMS raises InvalidSelectorException at subscribe time;
+            // the study never sends invalid selectors, so treat as fatal.
+            panic!("invalid selector {selector:?}: {e}")
+        });
+        let had_interest = self.engine.has_interest(&topic);
+        if queue {
+            self.engine
+                .subscribe_queue(&topic, conn, sub_id, selector, ack_mode);
+        } else {
+            self.engine.subscribe(&topic, conn, sub_id, selector, ack_mode);
+        }
+        let done = self.cpu(ctx, self.cfg.costs.broker_accept / 2);
+        self.send_to_client(
+            ctx,
+            conn,
+            CONTROL_FRAME_BYTES,
+            BrokerToClient::SubscribeOk { sub_id },
+            done,
+        );
+        if !had_interest {
+            self.gossip_interests(ctx);
+        }
+    }
+
+    /// Broadcast our interest set to peers (used by routed mode; harmless
+    /// in broadcast mode).
+    fn gossip_interests(&mut self, ctx: &mut Context<'_>) {
+        if self.peers.is_empty() {
+            return;
+        }
+        let topics = self.engine.interested_topics();
+        let my_ix = self.my_ix;
+        let ep = self.endpoint;
+        let bytes =
+            CONTROL_FRAME_BYTES + topics.iter().map(|t| t.len() + 4).sum::<usize>();
+        let now = ctx.now();
+        for &(_, conn) in &self.peers {
+            let update = BrokerToBroker::InterestUpdate {
+                broker: my_ix,
+                topics: topics.clone(),
+            };
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, conn, ep, bytes, Box::new(update), now);
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_publish(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        probe: ProbeId,
+        seq: u64,
+        message: Message,
+        retransmit: bool,
+        queue: bool,
+        wire_bytes: usize,
+    ) {
+        let transport = match self.conns.get(&conn) {
+            Some(c) => c.transport,
+            None => return, // connection refused / unknown: drop
+        };
+
+        // UDP transport reliability: ack every publish, including
+        // duplicates (the original ack may have been lost).
+        if transport == Transport::Udp {
+            let ack_done = self.cpu(ctx, self.cfg.costs.broker_ack_process);
+            self.send_to_client(
+                ctx,
+                conn,
+                CONTROL_FRAME_BYTES,
+                BrokerToClient::PublishAck { seq },
+                ack_done,
+            );
+        }
+
+        // Duplicate filter.
+        let state = self.conns.get_mut(&conn).expect("checked above");
+        if retransmit {
+            if let Some(last) = state.last_pub_seq {
+                if seq <= last {
+                    self.stats.borrow_mut().dup_publishes += 1;
+                    return;
+                }
+            }
+        }
+        state.last_pub_seq = Some(state.last_pub_seq.map_or(seq, |l| l.max(seq)));
+        self.stats.borrow_mut().published += 1;
+
+        // Processing cost: deserialize + route + match. Queue sends
+        // (point-to-point) deliver to exactly one receiver and are not
+        // forwarded through the broker network (queues live on the broker
+        // they were created on).
+        let topic = message.headers.destination.clone();
+        let (matches, match_cost) = if queue {
+            let (hit, cost) = self.engine.match_queue(&topic, &message);
+            (hit.into_iter().collect(), cost)
+        } else {
+            self.engine.match_message(&topic, &message)
+        };
+        let mut cost = self.cfg.costs.broker_publish_base + self.per_byte(wire_bytes) + match_cost;
+        if transport == Transport::Nio {
+            cost += self.cfg.costs.nio_extra;
+        }
+        let done = self.cpu(ctx, cost);
+
+        self.dispatch_deliveries(ctx, probe, &message, matches, done);
+
+        if queue {
+            return;
+        }
+        // Forward through the broker network.
+        let seq = self.next_fwd_seq;
+        self.next_fwd_seq += 1;
+        let my_ix = self.my_ix;
+        self.seen_forwards.insert((my_ix, seq));
+        self.forward_to_peers(ctx, probe, &message, &topic, done, my_ix, seq, my_ix);
+    }
+
+    fn dispatch_deliveries(
+        &mut self,
+        ctx: &mut Context<'_>,
+        probe: ProbeId,
+        message: &Message,
+        matches: Vec<MatchedDelivery>,
+        mut ready_at: SimTime,
+    ) {
+        let ep = self.endpoint;
+        for m in matches {
+            // Each delivery costs serialization on the broker.
+            ready_at = self.cpu(ctx, self.cfg.costs.broker_deliver_base).max(ready_at);
+            let bytes = deliver_bytes(message);
+            let transport = self.conns.get(&m.conn).map(|c| c.transport);
+            let deliver = BrokerToClient::Deliver {
+                sub_id: m.sub_id,
+                probe,
+                deliver_seq: m.deliver_seq,
+                message: message.clone(),
+                retransmit: false,
+            };
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, m.conn, ep, bytes, Box::new(deliver), ready_at);
+            });
+            self.stats.borrow_mut().delivered += 1;
+            // CLIENT-ack over UDP: retain for gap recovery.
+            if transport == Some(Transport::Udp) {
+                let state = self.conns.get_mut(&m.conn).expect("delivery to live conn");
+                state.max_sent_seq =
+                    Some(state.max_sent_seq.map_or(m.deliver_seq, |s| s.max(m.deliver_seq)));
+                if m.ack_mode == AckMode::Client {
+                    state.pending.insert(
+                        m.deliver_seq,
+                        PendingDelivery {
+                            sub_id: m.sub_id,
+                            probe,
+                            message: message.clone(),
+                            retransmitted: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward_to_peers(
+        &mut self,
+        ctx: &mut Context<'_>,
+        probe: ProbeId,
+        message: &Message,
+        topic: &str,
+        ready_at: SimTime,
+        origin: u16,
+        seq: u64,
+        from_ix: u16,
+    ) {
+        if self.peers.is_empty() {
+            return;
+        }
+        let ep = self.endpoint;
+        let my_ix = self.my_ix;
+        let bytes = deliver_bytes(message);
+        let peers: Vec<(u16, ConnId)> = self.peers.clone();
+        for (peer_ix, conn) in peers {
+            // Never send back where it came from or to the origin.
+            if peer_ix == from_ix || peer_ix == origin {
+                continue;
+            }
+            // v1.1.3 deficiency: flood to every peer regardless of
+            // interest. Routed mode prunes using gossiped interests and
+            // never re-floods (single hop suffices in a full mesh).
+            if !self.cfg.dbn_broadcast {
+                if my_ix != origin {
+                    continue;
+                }
+                let interested = self
+                    .peer_interests
+                    .get(&peer_ix)
+                    .is_some_and(|ts| ts.iter().any(|t| t == topic));
+                if !interested {
+                    continue;
+                }
+            }
+            let at = self.cpu(ctx, self.cfg.costs.broker_deliver_base).max(ready_at);
+            let fwd = BrokerToBroker::Forward {
+                probe,
+                message: message.clone(),
+                origin,
+                seq,
+                from_ix: my_ix,
+            };
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, conn, ep, bytes, Box::new(fwd), at);
+            });
+            self.stats.borrow_mut().forwarded += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_peer_forward(
+        &mut self,
+        ctx: &mut Context<'_>,
+        probe: ProbeId,
+        message: Message,
+        wire_bytes: usize,
+        origin: u16,
+        seq: u64,
+        from_ix: u16,
+    ) {
+        self.stats.borrow_mut().from_peers += 1;
+        // Flood dedup: duplicates still cost deserialization.
+        if !self.seen_forwards.insert((origin, seq)) {
+            self.stats.borrow_mut().dup_publishes += 1;
+            self.cpu(
+                ctx,
+                self.cfg.costs.broker_publish_base / 2 + self.per_byte(wire_bytes),
+            );
+            return;
+        }
+        let topic = message.headers.destination.clone();
+        let (matches, match_cost) = self.engine.match_message(&topic, &message);
+        let cost = self.cfg.costs.broker_publish_base + self.per_byte(wire_bytes) + match_cost;
+        let done = self.cpu(ctx, cost);
+        self.dispatch_deliveries(ctx, probe, &message, matches, done);
+        // v1.1.3 floods onward (the congestion the paper found).
+        if self.cfg.dbn_broadcast {
+            self.forward_to_peers(ctx, probe, &message, &topic, done, origin, seq, from_ix);
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &mut Context<'_>, conn: ConnId, cumulative: u64, extra: Vec<u64>) {
+        self.stats.borrow_mut().acks += 1;
+        let done = self.cpu(ctx, self.cfg.costs.broker_ack_process);
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        if state.pending.is_empty() {
+            return;
+        }
+        // Everything at or below the cumulative seq (or listed) is acked.
+        state
+            .pending
+            .retain(|&seq, _| seq > cumulative && !extra.contains(&seq));
+        // Gap recovery: anything still pending below the connection's max
+        // sent seq was evidently lost — retransmit once, then give up.
+        let max_sent = state.max_sent_seq.unwrap_or(0);
+        let mut to_retx: Vec<u64> = state
+            .pending
+            .iter()
+            .filter(|(&seq, p)| seq < max_sent && !p.retransmitted)
+            .map(|(&s, _)| s)
+            .collect();
+        to_retx.sort_unstable();
+        let mut drop_list: Vec<u64> = state
+            .pending
+            .iter()
+            .filter(|(&seq, p)| seq < max_sent && p.retransmitted)
+            .map(|(&s, _)| s)
+            .collect();
+        drop_list.sort_unstable();
+        for seq in drop_list {
+            state.pending.remove(&seq);
+        }
+        let ep = self.endpoint;
+        for seq in to_retx {
+            let p = state.pending.get_mut(&seq).expect("just selected");
+            p.retransmitted = true;
+            let deliver = BrokerToClient::Deliver {
+                sub_id: p.sub_id,
+                probe: p.probe,
+                deliver_seq: seq,
+                message: p.message.clone(),
+                retransmit: true,
+            };
+            let bytes = deliver_bytes(&p.message);
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, conn, ep, bytes, Box::new(deliver), done);
+            });
+            self.stats.borrow_mut().retransmissions += 1;
+        }
+    }
+}
+
+impl Actor for Broker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.endpoint = Endpoint::new(self.node, ctx.self_id());
+    }
+
+    fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
+        // Direct control from the deployment layer.
+        let msg = match msg.downcast::<BrokerControl>() {
+            Ok(ctrl) => {
+                match *ctrl {
+                    BrokerControl::SetPeers { my_ix, peers } => {
+                        self.my_ix = my_ix;
+                        self.peers = peers;
+                        self.gossip_interests(ctx);
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        // Network deliveries.
+        let Ok(delivery) = msg.downcast::<Delivery>() else {
+            return; // unknown message type: ignore
+        };
+        let Delivery {
+            conn,
+            bytes,
+            payload,
+            ..
+        } = *delivery;
+        let payload = match payload.downcast::<ClientToBroker>() {
+            Ok(c2b) => {
+                match *c2b {
+                    ClientToBroker::Connect => {
+                        let transport =
+                            ctx.service::<NetworkFabric>().transport(conn);
+                        self.on_connect(ctx, conn, transport);
+                    }
+                    ClientToBroker::Disconnect => self.on_disconnect(ctx, conn),
+                    ClientToBroker::Subscribe {
+                        sub_id,
+                        topic,
+                        selector,
+                        ack_mode,
+                        queue,
+                    } => self.on_subscribe(ctx, conn, sub_id, topic, selector, ack_mode, queue),
+                    ClientToBroker::Unsubscribe { sub_id } => {
+                        self.engine.unsubscribe(conn, sub_id);
+                        self.gossip_interests(ctx);
+                    }
+                    ClientToBroker::Publish {
+                        probe,
+                        seq,
+                        message,
+                        retransmit,
+                        queue,
+                    } => self.on_publish(ctx, conn, probe, seq, message, retransmit, queue, bytes),
+                    ClientToBroker::Ack {
+                        cumulative_seq,
+                        extra,
+                    } => self.on_ack(ctx, conn, cumulative_seq, extra),
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        if let Ok(b2b) = payload.downcast::<BrokerToBroker>() {
+            match *b2b {
+                BrokerToBroker::Forward {
+                    probe,
+                    message,
+                    origin,
+                    seq,
+                    from_ix,
+                } => self.on_peer_forward(ctx, probe, message, bytes, origin, seq, from_ix),
+                BrokerToBroker::InterestUpdate { broker, topics } => {
+                    self.peer_interests.insert(broker, topics);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "narada-broker"
+    }
+}

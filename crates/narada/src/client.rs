@@ -1,0 +1,537 @@
+//! Client-side JMS sessions: a [`NaradaClientSet`] manages many logical
+//! connections (one per simulated power generator) inside a host actor,
+//! exactly like the paper's driver program that forked one thread per
+//! generator inside one JVM.
+//!
+//! Host-actor contract: forward [`simnet::Delivery`] payloads to
+//! [`NaradaClientSet::handle_delivery`] and [`ClientTimer`] payloads to
+//! [`NaradaClientSet::handle_timer`]; both return [`ClientEvent`]s for the
+//! host to act on.
+
+use crate::config::{ConnSettings, NaradaConfig};
+use crate::protocol::{publish_bytes, BrokerToClient, ClientToBroker, CONTROL_FRAME_BYTES};
+use jms::AckMode;
+use simcore::{Context, SimDuration, SimTime};
+use simnet::{ConnId, Delivery, Endpoint, NetworkFabric, Transport};
+use simos::{NodeId, OsModel};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use telemetry::{ProbeId, RttCollector};
+use wire::Message;
+
+/// Timer payload the host actor must route back via `handle_timer`.
+pub struct ClientTimer(pub u64);
+
+/// Events surfaced to the host actor.
+#[derive(Debug, PartialEq)]
+pub enum ClientEvent {
+    /// Connection established.
+    Connected(ConnId),
+    /// Connection refused by the broker (OOM).
+    Refused(ConnId, String),
+    /// Subscription confirmed.
+    Subscribed(ConnId, u32),
+    /// A message arrived and was processed by the listener.
+    MessageArrived {
+        /// Connection it arrived on.
+        conn: ConnId,
+        /// Subscription it matched.
+        sub_id: u32,
+        /// Telemetry probe of the originating publish.
+        probe: ProbeId,
+        /// When the listener callback completed.
+        done_at: SimTime,
+    },
+    /// A UDP publish exhausted its retries and was abandoned.
+    PublishAbandoned {
+        /// Connection.
+        conn: ConnId,
+        /// Probe of the lost message.
+        probe: ProbeId,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnPhase {
+    Connecting,
+    Ready,
+    Refused,
+}
+
+struct PendingPub {
+    probe: ProbeId,
+    message: Message,
+    retries: u32,
+    timer: u64,
+    queue: bool,
+}
+
+struct SubRecv {
+    /// Highest contiguous delivery seq received.
+    cumulative: Option<u64>,
+    /// Received seqs above the contiguous prefix.
+    out_of_order: BTreeSet<u64>,
+    /// Dirty since last ack flush.
+    dirty: bool,
+}
+
+struct ConnState {
+    settings: ConnSettings,
+    phase: ConnPhase,
+    next_pub_seq: u64,
+    pending_pubs: HashMap<u64, PendingPub>,
+    /// Per-subscription receive tracking (sub_id → state; BTreeMap for
+    /// deterministic ack-flush order).
+    recv: BTreeMap<u32, SubRecv>,
+    ack_flush_armed: bool,
+}
+
+enum TimerKind {
+    PubRetry { conn: ConnId, seq: u64 },
+    AckFlush { conn: ConnId },
+}
+
+/// A set of client connections owned by one host actor.
+pub struct NaradaClientSet {
+    cfg: NaradaConfig,
+    node: NodeId,
+    conns: HashMap<ConnId, ConnState>,
+    timers: HashMap<u64, TimerKind>,
+    next_timer: u64,
+}
+
+impl NaradaClientSet {
+    /// New client set for a host actor on `node`.
+    pub fn new(cfg: NaradaConfig, node: NodeId) -> Self {
+        NaradaClientSet {
+            cfg,
+            node,
+            conns: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+        }
+    }
+
+    fn my_ep(&self, ctx: &Context<'_>) -> Endpoint {
+        Endpoint::new(self.node, ctx.self_id())
+    }
+
+    fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
+        let node = self.node;
+        ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), cost))
+    }
+
+    fn serialize_cost(&self, bytes: usize) -> SimDuration {
+        self.cfg.costs.client_serialize_base
+            + SimDuration::from_micros(
+                (bytes as u64 * self.cfg.costs.client_serialize_per_byte_ns).div_ceil(1000),
+            )
+    }
+
+    fn deliver_cost(&self, bytes: usize) -> SimDuration {
+        self.cfg.costs.client_deliver_base
+            + SimDuration::from_micros(
+                (bytes as u64 * self.cfg.costs.client_deliver_per_byte_ns).div_ceil(1000),
+            )
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Context<'_>, delay: SimDuration, kind: TimerKind) -> u64 {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, kind);
+        ctx.timer(delay, ClientTimer(token));
+        token
+    }
+
+    /// Open a connection to `broker_ep`. The broker replies ConnectOk /
+    /// ConnectRefused, surfaced later as a [`ClientEvent`].
+    pub fn connect(
+        &mut self,
+        ctx: &mut Context<'_>,
+        broker_ep: Endpoint,
+        settings: ConnSettings,
+    ) -> ConnId {
+        let me = self.my_ep(ctx);
+        let conn = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            let conn = net.open(ctx.now(), settings.transport, me, broker_ep);
+            net.send(ctx, conn, me, CONTROL_FRAME_BYTES, Box::new(ClientToBroker::Connect));
+            conn
+        });
+        self.conns.insert(
+            conn,
+            ConnState {
+                settings,
+                phase: ConnPhase::Connecting,
+                next_pub_seq: 0,
+                pending_pubs: HashMap::new(),
+                recv: BTreeMap::new(),
+                ack_flush_armed: false,
+            },
+        );
+        conn
+    }
+
+    /// Create a topic subscription on an established connection.
+    pub fn subscribe(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        sub_id: u32,
+        topic: impl Into<String>,
+        selector: impl Into<String>,
+    ) {
+        self.subscribe_inner(ctx, conn, sub_id, topic.into(), selector.into(), false)
+    }
+
+    /// Register as a queue receiver (JMS point-to-point mode): each
+    /// message sent to the queue reaches exactly one receiver.
+    pub fn subscribe_queue(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        sub_id: u32,
+        queue: impl Into<String>,
+        selector: impl Into<String>,
+    ) {
+        self.subscribe_inner(ctx, conn, sub_id, queue.into(), selector.into(), true)
+    }
+
+    fn subscribe_inner(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        sub_id: u32,
+        topic: String,
+        selector: String,
+        queue: bool,
+    ) {
+        let state = self.conns.get_mut(&conn).expect("unknown connection");
+        assert_eq!(state.phase, ConnPhase::Ready, "subscribe before ConnectOk");
+        state.recv.insert(
+            sub_id,
+            SubRecv {
+                cumulative: None,
+                out_of_order: BTreeSet::new(),
+                dirty: false,
+            },
+        );
+        let ack_mode = state.settings.ack_mode;
+        let me = self.my_ep(ctx);
+        let msg = ClientToBroker::Subscribe {
+            sub_id,
+            topic,
+            selector,
+            ack_mode,
+            queue,
+        };
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send(ctx, conn, me, CONTROL_FRAME_BYTES + 64, Box::new(msg));
+        });
+    }
+
+    /// Publish a message to its destination topic. Instruments
+    /// `before_sending`/`after_sending` on the shared [`RttCollector`]
+    /// and returns the probe id.
+    pub fn publish(&mut self, ctx: &mut Context<'_>, conn: ConnId, message: Message) -> ProbeId {
+        self.publish_inner(ctx, conn, message, false)
+    }
+
+    /// Send a message to a queue (point-to-point mode).
+    pub fn send_to_queue(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        message: Message,
+    ) -> ProbeId {
+        self.publish_inner(ctx, conn, message, true)
+    }
+
+    fn publish_inner(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        message: Message,
+        queue: bool,
+    ) -> ProbeId {
+        let now = ctx.now();
+        let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        let state = self.conns.get_mut(&conn).expect("unknown connection");
+        assert_eq!(state.phase, ConnPhase::Ready, "publish before ConnectOk");
+        let seq = state.next_pub_seq;
+        state.next_pub_seq += 1;
+        let transport = state.settings.transport;
+        let bytes = publish_bytes(&message);
+
+        // Serialization on the client CPU.
+        let ser_done = self.cpu(ctx, self.serialize_cost(bytes));
+
+        if transport == Transport::Udp {
+            // JMS-over-UDP: publish() is synchronous until the broker ack.
+            let timeout = self.cfg.udp.ack_timeout;
+            let timer = self.arm_timer(ctx, timeout, TimerKind::PubRetry { conn, seq });
+            let state = self.conns.get_mut(&conn).expect("still here");
+            state.pending_pubs.insert(
+                seq,
+                PendingPub {
+                    probe,
+                    message: message.clone(),
+                    retries: 0,
+                    timer,
+                    queue,
+                },
+            );
+        } else {
+            // TCP family: publish() returns once the write completes.
+            ctx.service_mut::<RttCollector>().after_sending(probe, ser_done);
+        }
+
+        let me = self.my_ep(ctx);
+        let pub_msg = ClientToBroker::Publish {
+            probe,
+            seq,
+            message,
+            retransmit: false,
+            queue,
+        };
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send_at(ctx, conn, me, bytes, Box::new(pub_msg), ser_done);
+        });
+        probe
+    }
+
+    /// Handle a network delivery addressed to the host actor. Returns the
+    /// events the host should react to.
+    pub fn handle_delivery(
+        &mut self,
+        ctx: &mut Context<'_>,
+        delivery: Delivery,
+    ) -> Vec<ClientEvent> {
+        let Delivery {
+            conn,
+            bytes,
+            payload,
+            ..
+        } = delivery;
+        let Ok(b2c) = payload.downcast::<BrokerToClient>() else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        match *b2c {
+            BrokerToClient::ConnectOk => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.phase = ConnPhase::Ready;
+                    events.push(ClientEvent::Connected(conn));
+                }
+            }
+            BrokerToClient::ConnectRefused { reason } => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.phase = ConnPhase::Refused;
+                    events.push(ClientEvent::Refused(conn, reason));
+                }
+            }
+            BrokerToClient::SubscribeOk { sub_id } => {
+                events.push(ClientEvent::Subscribed(conn, sub_id));
+            }
+            BrokerToClient::PublishAck { seq } => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    if let Some(p) = state.pending_pubs.remove(&seq) {
+                        // publish() completes now: UDP PRT includes the
+                        // network round trip plus broker ack processing.
+                        let now = ctx.now();
+                        ctx.service_mut::<RttCollector>().after_sending(p.probe, now);
+                        self.timers.remove(&p.timer);
+                    }
+                }
+            }
+            BrokerToClient::Deliver {
+                sub_id,
+                probe,
+                deliver_seq,
+                message: _message,
+                retransmit: _,
+            } => {
+                let now = ctx.now();
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return events;
+                };
+                let Some(recv) = state.recv.get_mut(&sub_id) else {
+                    return events;
+                };
+                // Duplicate filter.
+                let already = recv.cumulative.is_some_and(|c| deliver_seq <= c)
+                    || recv.out_of_order.contains(&deliver_seq);
+                if already {
+                    return events;
+                }
+                recv.out_of_order.insert(deliver_seq);
+                // Advance the contiguous prefix.
+                loop {
+                    let next = recv.cumulative.map_or(0, |c| c + 1);
+                    if recv.out_of_order.remove(&next) {
+                        recv.cumulative = Some(next);
+                    } else {
+                        break;
+                    }
+                }
+                recv.dirty = true;
+                let transport = state.settings.transport;
+                let ack_mode = state.settings.ack_mode;
+
+                // Listener callback: deserialize + user code.
+                ctx.service_mut::<RttCollector>().before_receiving(probe, now);
+                let done = self.cpu(ctx, self.deliver_cost(bytes));
+                ctx.service_mut::<RttCollector>().after_receiving(probe, done);
+                events.push(ClientEvent::MessageArrived {
+                    conn,
+                    sub_id,
+                    probe,
+                    done_at: done,
+                });
+
+                // Acknowledgements (UDP reliability layer).
+                if transport == Transport::Udp {
+                    match ack_mode {
+                        AckMode::Auto | AckMode::DupsOk => {
+                            self.flush_acks(ctx, conn, done);
+                        }
+                        AckMode::Client => {
+                            let state = self.conns.get_mut(&conn).expect("still here");
+                            if !state.ack_flush_armed {
+                                state.ack_flush_armed = true;
+                                let flush = self.cfg.udp.client_ack_flush;
+                                self.arm_timer(ctx, flush, TimerKind::AckFlush { conn });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Handle a [`ClientTimer`] delivered to the host actor.
+    pub fn handle_timer(&mut self, ctx: &mut Context<'_>, timer: ClientTimer) -> Vec<ClientEvent> {
+        let Some(kind) = self.timers.remove(&timer.0) else {
+            return Vec::new(); // stale (already acked)
+        };
+        match kind {
+            TimerKind::PubRetry { conn, seq } => {
+                let max_retries = self.cfg.udp.max_retries;
+                let timeout = self.cfg.udp.ack_timeout;
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return Vec::new();
+                };
+                let Some(p) = state.pending_pubs.get_mut(&seq) else {
+                    return Vec::new(); // acked meanwhile
+                };
+                if p.retries >= max_retries {
+                    let probe = p.probe;
+                    state.pending_pubs.remove(&seq);
+                    return vec![ClientEvent::PublishAbandoned { conn, probe }];
+                }
+                p.retries += 1;
+                let probe = p.probe;
+                let message = p.message.clone();
+                let queue = p.queue;
+                let timer = self.arm_timer(ctx, timeout, TimerKind::PubRetry { conn, seq });
+                let state = self.conns.get_mut(&conn).expect("still here");
+                if let Some(p) = state.pending_pubs.get_mut(&seq) {
+                    p.timer = timer;
+                }
+                let bytes = publish_bytes(&message);
+                // Retransmission re-serializes from the buffered form:
+                // cheaper than first serialization.
+                let done = self.cpu(ctx, self.cfg.costs.client_serialize_base);
+                let me = self.my_ep(ctx);
+                let msg = ClientToBroker::Publish {
+                    probe,
+                    seq,
+                    message,
+                    retransmit: true,
+                    queue,
+                };
+                ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                    net.send_at(ctx, conn, me, bytes, Box::new(msg), done);
+                });
+                Vec::new()
+            }
+            TimerKind::AckFlush { conn } => {
+                let now = ctx.now();
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.ack_flush_armed = false;
+                }
+                self.flush_acks(ctx, conn, now);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Send ack state for every dirty subscription on `conn`.
+    fn flush_acks(&mut self, ctx: &mut Context<'_>, conn: ConnId, at: SimTime) {
+        let me = self.my_ep(ctx);
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let mut to_send = Vec::new();
+        for recv in state.recv.values_mut() {
+            if !recv.dirty {
+                continue;
+            }
+            recv.dirty = false;
+            to_send.push((
+                recv.cumulative.unwrap_or(0),
+                recv.out_of_order.iter().copied().collect::<Vec<u64>>(),
+            ));
+        }
+        for (cumulative_seq, extra) in to_send {
+            let ack = ClientToBroker::Ack {
+                cumulative_seq,
+                extra,
+            };
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, conn, me, CONTROL_FRAME_BYTES, Box::new(ack), at);
+            });
+        }
+    }
+
+    /// Close a connection: the broker frees its service thread and drops
+    /// its subscriptions; further use of `conn` is a protocol error.
+    pub fn disconnect(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        if self.conns.remove(&conn).is_none() {
+            return;
+        }
+        let me = self.my_ep(ctx);
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send(
+                ctx,
+                conn,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Disconnect),
+            );
+        });
+    }
+
+    /// Phase of a connection, for the host's bookkeeping.
+    pub fn is_ready(&self, conn: ConnId) -> bool {
+        self.conns
+            .get(&conn)
+            .is_some_and(|c| c.phase == ConnPhase::Ready)
+    }
+
+    /// Was the connection refused?
+    pub fn is_refused(&self, conn: ConnId) -> bool {
+        self.conns
+            .get(&conn)
+            .is_some_and(|c| c.phase == ConnPhase::Refused)
+    }
+
+    /// Number of connections in the set.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True if no connections were opened.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+}

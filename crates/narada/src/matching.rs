@@ -1,0 +1,382 @@
+//! The broker's subscription registry and matching engine.
+//!
+//! Topic-indexed: a published message is evaluated against the selectors
+//! of that topic's subscriptions only. Selector evaluation cost is
+//! returned to the caller so the broker charges it to its CPU.
+
+use jms::{AckMode, Selector};
+use simcore::SimDuration;
+use simnet::ConnId;
+use std::collections::HashMap;
+use wire::Message;
+
+/// One live subscription.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// Connection that owns it.
+    pub conn: ConnId,
+    /// Client-chosen id, unique within the connection.
+    pub sub_id: u32,
+    /// Compiled selector.
+    pub selector: Selector,
+    /// Acknowledge mode of the consuming session.
+    pub ack_mode: AckMode,
+    /// Next delivery sequence number for this subscription.
+    next_seq: u64,
+}
+
+/// A match produced for one published message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchedDelivery {
+    /// Destination connection.
+    pub conn: ConnId,
+    /// Subscription id on that connection.
+    pub sub_id: u32,
+    /// Assigned delivery sequence.
+    pub deliver_seq: u64,
+    /// Acknowledge mode of the subscription.
+    pub ack_mode: AckMode,
+}
+
+/// Topic-indexed subscription store, plus point-to-point queues.
+#[derive(Default)]
+pub struct MatchingEngine {
+    by_topic: HashMap<String, Vec<Subscription>>,
+    /// PTP queues: receivers share the queue; each message goes to one.
+    by_queue: HashMap<String, (Vec<Subscription>, usize)>,
+    subscription_count: usize,
+}
+
+impl MatchingEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a subscription.
+    pub fn subscribe(
+        &mut self,
+        topic: impl Into<String>,
+        conn: ConnId,
+        sub_id: u32,
+        selector: Selector,
+        ack_mode: AckMode,
+    ) {
+        self.by_topic.entry(topic.into()).or_default().push(Subscription {
+            conn,
+            sub_id,
+            selector,
+            ack_mode,
+            next_seq: 0,
+        });
+        self.subscription_count += 1;
+    }
+
+    /// Register a queue receiver (JMS point-to-point mode): each message
+    /// sent to the queue is delivered to exactly one eligible receiver,
+    /// round-robin.
+    pub fn subscribe_queue(
+        &mut self,
+        queue: impl Into<String>,
+        conn: ConnId,
+        sub_id: u32,
+        selector: Selector,
+        ack_mode: AckMode,
+    ) {
+        self.by_queue
+            .entry(queue.into())
+            .or_default()
+            .0
+            .push(Subscription {
+                conn,
+                sub_id,
+                selector,
+                ack_mode,
+                next_seq: 0,
+            });
+        self.subscription_count += 1;
+    }
+
+    /// Remove one subscription.
+    pub fn unsubscribe(&mut self, conn: ConnId, sub_id: u32) {
+        for subs in self.by_topic.values_mut() {
+            let before = subs.len();
+            subs.retain(|s| !(s.conn == conn && s.sub_id == sub_id));
+            self.subscription_count -= before - subs.len();
+        }
+        for (subs, _) in self.by_queue.values_mut() {
+            let before = subs.len();
+            subs.retain(|s| !(s.conn == conn && s.sub_id == sub_id));
+            self.subscription_count -= before - subs.len();
+        }
+    }
+
+    /// Remove everything owned by a connection (client disconnect).
+    pub fn drop_connection(&mut self, conn: ConnId) {
+        for subs in self.by_topic.values_mut() {
+            let before = subs.len();
+            subs.retain(|s| s.conn != conn);
+            self.subscription_count -= before - subs.len();
+        }
+        for (subs, _) in self.by_queue.values_mut() {
+            let before = subs.len();
+            subs.retain(|s| s.conn != conn);
+            self.subscription_count -= before - subs.len();
+        }
+    }
+
+    /// Total live subscriptions.
+    pub fn len(&self) -> usize {
+        self.subscription_count
+    }
+
+    /// True if no subscriptions exist.
+    pub fn is_empty(&self) -> bool {
+        self.subscription_count == 0
+    }
+
+    /// Whether any subscription exists for `topic` (interest gossip).
+    pub fn has_interest(&self, topic: &str) -> bool {
+        self.by_topic.get(topic).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Topics with at least one subscriber.
+    pub fn interested_topics(&self) -> Vec<String> {
+        let mut ts: Vec<String> = self
+            .by_topic
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| k.clone())
+            .collect();
+        ts.sort_unstable();
+        ts
+    }
+
+    /// Match a message against a queue: at most one delivery, round-robin
+    /// over receivers whose selector matches. Returns the delivery (if an
+    /// eligible receiver exists) and the evaluation cost.
+    pub fn match_queue(
+        &mut self,
+        queue: &str,
+        message: &Message,
+    ) -> (Option<MatchedDelivery>, SimDuration) {
+        let mut cost = SimDuration::ZERO;
+        let Some((subs, rr)) = self.by_queue.get_mut(queue) else {
+            return (None, cost);
+        };
+        let n = subs.len();
+        for probe_ix in 0..n {
+            let ix = (*rr + probe_ix) % n;
+            let sub = &mut subs[ix];
+            cost += sub.selector.eval_cost();
+            if sub.selector.matches(message) {
+                *rr = (ix + 1) % n;
+                let deliver_seq = sub.next_seq;
+                sub.next_seq += 1;
+                return (
+                    Some(MatchedDelivery {
+                        conn: sub.conn,
+                        sub_id: sub.sub_id,
+                        deliver_seq,
+                        ack_mode: sub.ack_mode,
+                    }),
+                    cost,
+                );
+            }
+        }
+        (None, cost)
+    }
+
+    /// Match a message against the topic's subscriptions. Returns the
+    /// deliveries plus the CPU cost of the selector evaluations performed.
+    pub fn match_message(
+        &mut self,
+        topic: &str,
+        message: &Message,
+    ) -> (Vec<MatchedDelivery>, SimDuration) {
+        let mut cost = SimDuration::ZERO;
+        let mut out = Vec::new();
+        if let Some(subs) = self.by_topic.get_mut(topic) {
+            for sub in subs.iter_mut() {
+                cost += sub.selector.eval_cost();
+                if sub.selector.matches(message) {
+                    let deliver_seq = sub.next_seq;
+                    sub.next_seq += 1;
+                    out.push(MatchedDelivery {
+                        conn: sub.conn,
+                        sub_id: sub.sub_id,
+                        deliver_seq,
+                        ack_mode: sub.ack_mode,
+                    });
+                }
+            }
+        }
+        (out, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+    use wire::{Headers, MessageId};
+
+    fn msg(topic: &str, id: i32) -> Message {
+        Message::text(Headers::new(MessageId(1), topic, SimTime::ZERO), "x")
+            .with_property("id", id)
+    }
+
+    fn conn(n: u32) -> ConnId {
+        ConnId(n)
+    }
+
+    #[test]
+    fn topic_isolation() {
+        let mut m = MatchingEngine::new();
+        m.subscribe("power", conn(1), 0, Selector::match_all(), AckMode::Auto);
+        m.subscribe("weather", conn(2), 0, Selector::match_all(), AckMode::Auto);
+        let (hits, _) = m.match_message("power", &msg("power", 1));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].conn, conn(1));
+    }
+
+    #[test]
+    fn selector_filters() {
+        let mut m = MatchingEngine::new();
+        m.subscribe(
+            "power",
+            conn(1),
+            0,
+            Selector::compile("id < 10000").unwrap(),
+            AckMode::Auto,
+        );
+        let (hits, cost) = m.match_message("power", &msg("power", 5));
+        assert_eq!(hits.len(), 1);
+        assert!(cost > SimDuration::ZERO);
+        let (hits, _) = m.match_message("power", &msg("power", 20000));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn delivery_sequences_increment_per_subscription() {
+        let mut m = MatchingEngine::new();
+        m.subscribe("t", conn(1), 0, Selector::match_all(), AckMode::Auto);
+        m.subscribe("t", conn(2), 7, Selector::match_all(), AckMode::Client);
+        let (h1, _) = m.match_message("t", &msg("t", 1));
+        let (h2, _) = m.match_message("t", &msg("t", 2));
+        assert_eq!(h1.iter().map(|d| d.deliver_seq).collect::<Vec<_>>(), [0, 0]);
+        assert_eq!(h2.iter().map(|d| d.deliver_seq).collect::<Vec<_>>(), [1, 1]);
+        assert_eq!(h2[1].ack_mode, AckMode::Client);
+    }
+
+    #[test]
+    fn unsubscribe_and_drop_connection() {
+        let mut m = MatchingEngine::new();
+        m.subscribe("t", conn(1), 0, Selector::match_all(), AckMode::Auto);
+        m.subscribe("t", conn(1), 1, Selector::match_all(), AckMode::Auto);
+        m.subscribe("t", conn(2), 0, Selector::match_all(), AckMode::Auto);
+        assert_eq!(m.len(), 3);
+        m.unsubscribe(conn(1), 0);
+        assert_eq!(m.len(), 2);
+        m.drop_connection(conn(1));
+        assert_eq!(m.len(), 1);
+        let (hits, _) = m.match_message("t", &msg("t", 1));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].conn, conn(2));
+    }
+
+    #[test]
+    fn interest_tracking() {
+        let mut m = MatchingEngine::new();
+        assert!(!m.has_interest("t"));
+        m.subscribe("t", conn(1), 0, Selector::match_all(), AckMode::Auto);
+        m.subscribe("a", conn(1), 1, Selector::match_all(), AckMode::Auto);
+        assert!(m.has_interest("t"));
+        assert_eq!(m.interested_topics(), vec!["a".to_string(), "t".to_string()]);
+        m.drop_connection(conn(1));
+        assert!(!m.has_interest("t"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn queue_round_robin_delivers_to_one() {
+        let mut m = MatchingEngine::new();
+        m.subscribe_queue("jobs", conn(1), 0, Selector::match_all(), AckMode::Auto);
+        m.subscribe_queue("jobs", conn(2), 0, Selector::match_all(), AckMode::Auto);
+        let mut targets = Vec::new();
+        for i in 0..6 {
+            let (hit, _) = m.match_queue("jobs", &msg("jobs", i));
+            targets.push(hit.unwrap().conn);
+        }
+        // Strict alternation between the two receivers.
+        assert_eq!(
+            targets,
+            vec![conn(1), conn(2), conn(1), conn(2), conn(1), conn(2)]
+        );
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn queue_selector_skips_ineligible_receivers() {
+        let mut m = MatchingEngine::new();
+        m.subscribe_queue(
+            "jobs",
+            conn(1),
+            0,
+            Selector::compile("id >= 100").unwrap(),
+            AckMode::Auto,
+        );
+        m.subscribe_queue("jobs", conn(2), 0, Selector::match_all(), AckMode::Auto);
+        for i in 0..4 {
+            let (hit, _) = m.match_queue("jobs", &msg("jobs", i));
+            assert_eq!(hit.unwrap().conn, conn(2), "only conn 2 matches id < 100");
+        }
+        let (hit, _) = m.match_queue("jobs", &msg("jobs", 500));
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn queue_empty_or_missing() {
+        let mut m = MatchingEngine::new();
+        let (hit, cost) = m.match_queue("nope", &msg("nope", 1));
+        assert!(hit.is_none());
+        assert_eq!(cost, SimDuration::ZERO);
+        m.subscribe_queue(
+            "q",
+            conn(1),
+            0,
+            Selector::compile("id > 10").unwrap(),
+            AckMode::Auto,
+        );
+        let (hit, cost) = m.match_queue("q", &msg("q", 1));
+        assert!(hit.is_none(), "no eligible receiver");
+        assert!(cost > SimDuration::ZERO, "but evaluation was paid");
+    }
+
+    #[test]
+    fn queues_and_topics_are_separate_namespaces() {
+        let mut m = MatchingEngine::new();
+        m.subscribe("x", conn(1), 0, Selector::match_all(), AckMode::Auto);
+        m.subscribe_queue("x", conn(2), 1, Selector::match_all(), AckMode::Auto);
+        let (topic_hits, _) = m.match_message("x", &msg("x", 1));
+        assert_eq!(topic_hits.len(), 1);
+        assert_eq!(topic_hits[0].conn, conn(1));
+        let (queue_hit, _) = m.match_queue("x", &msg("x", 1));
+        assert_eq!(queue_hit.unwrap().conn, conn(2));
+        m.drop_connection(conn(2));
+        assert!(m.match_queue("x", &msg("x", 2)).0.is_none());
+    }
+
+    #[test]
+    fn eval_cost_scales_with_subscriber_count() {
+        let mut m = MatchingEngine::new();
+        for i in 0..10 {
+            m.subscribe("t", conn(i), 0, Selector::compile("id < 5").unwrap(), AckMode::Auto);
+        }
+        let (_, cost10) = m.match_message("t", &msg("t", 1));
+        let mut m1 = MatchingEngine::new();
+        m1.subscribe("t", conn(0), 0, Selector::compile("id < 5").unwrap(), AckMode::Auto);
+        let (_, cost1) = m1.match_message("t", &msg("t", 1));
+        assert_eq!(cost10.as_micros(), 10 * cost1.as_micros());
+    }
+}

@@ -1,0 +1,285 @@
+//! The Narada driver programs: a fleet actor that simulates many
+//! generators publishing over JMS (one connection each, staggered
+//! creation, random warm-up sleep, fixed publish period), and a
+//! subscriber actor using the JMS notification mechanism with the
+//! paper's selector.
+
+use crate::generator::{GeneratorState, PAPER_SELECTOR, TOPIC};
+use narada::{ClientEvent, ClientTimer, ConnSettings, NaradaClientSet, NaradaConfig};
+use simcore::{Actor, Context, Payload, SimDuration, SimRng};
+use simnet::{ConnId, Delivery, Endpoint};
+use simos::{OsModel, ProcessId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Counters shared with the experiment driver.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    /// Connections established.
+    pub connected: u32,
+    /// Connections refused by the middleware.
+    pub refused: u32,
+    /// Messages published.
+    pub published: u64,
+    /// UDP publishes abandoned after retries.
+    pub abandoned: u64,
+    /// Messages received (subscriber side).
+    pub received: u64,
+}
+
+/// Shared handle to fleet statistics.
+pub type FleetStatsHandle = Rc<RefCell<FleetStats>>;
+
+/// Configuration of one Narada generator fleet (one driver JVM).
+#[derive(Clone)]
+pub struct NaradaFleetConfig {
+    /// Node hosting the driver program.
+    pub node: simos::NodeId,
+    /// Its JVM (generator threads are accounted here).
+    pub proc: ProcessId,
+    /// Broker to connect to.
+    pub broker_ep: Endpoint,
+    /// Number of simulated generators.
+    pub n_generators: usize,
+    /// First generator id (offset for multi-node fleets).
+    pub first_id: u32,
+    /// Interval between generator creations (paper: 0.5 s).
+    pub creation_interval: SimDuration,
+    /// Warm-up sleep range before the first publish (paper: 10–20 s).
+    pub warmup: (SimDuration, SimDuration),
+    /// Publish period (paper: 10 s; the "80" test used 1 s).
+    pub publish_interval: SimDuration,
+    /// Transport + ack mode (Table II).
+    pub settings: ConnSettings,
+    /// Payload multiplier (the "Triple" test used 3).
+    pub payload_repeat: usize,
+    /// Messages each generator publishes (paper: 30 min at 10 s = 180).
+    pub msgs_per_generator: u32,
+    /// Middleware configuration (client-side costs).
+    pub narada: NaradaConfig,
+}
+
+struct CreateGen(usize);
+struct PubTick {
+    ix: usize,
+    remaining: u32,
+}
+
+/// The fleet actor.
+pub struct NaradaFleet {
+    cfg: NaradaFleetConfig,
+    set: Option<NaradaClientSet>,
+    gens: Vec<GeneratorState>,
+    conn_of: Vec<Option<ConnId>>,
+    gen_of_conn: HashMap<ConnId, usize>,
+    rng: Option<SimRng>,
+    stats: FleetStatsHandle,
+    next_msg_id: u64,
+}
+
+impl NaradaFleet {
+    /// New fleet; clone the returned stats handle before `add_actor`.
+    pub fn new(cfg: NaradaFleetConfig) -> Self {
+        let n = cfg.n_generators;
+        NaradaFleet {
+            cfg,
+            set: None,
+            gens: Vec::with_capacity(n),
+            conn_of: vec![None; n],
+            gen_of_conn: HashMap::new(),
+            rng: None,
+            stats: FleetStatsHandle::default(),
+            next_msg_id: 0,
+        }
+    }
+
+    /// Statistics handle.
+    pub fn stats_handle(&self) -> FleetStatsHandle {
+        self.stats.clone()
+    }
+}
+
+impl Actor for NaradaFleet {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.set = Some(NaradaClientSet::new(
+            self.cfg.narada.clone(),
+            self.cfg.node,
+        ));
+        let mut rng = ctx.rng().derive(u64::from(self.cfg.first_id) + 1);
+        for ix in 0..self.cfg.n_generators {
+            self.gens
+                .push(GeneratorState::new(self.cfg.first_id + ix as u32, &mut rng));
+            ctx.timer(self.cfg.creation_interval.saturating_mul(ix as u64), CreateGen(ix));
+        }
+        self.rng = Some(rng);
+    }
+
+    fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
+        let msg = match msg.downcast::<CreateGen>() {
+            Ok(c) => {
+                let ix = c.0;
+                // One generator thread in the driver JVM.
+                let proc = self.cfg.proc;
+                let _ = ctx.with_service::<OsModel, _>(|os, _| os.spawn_thread(proc));
+                let set = self.set.as_mut().expect("started");
+                let conn = set.connect(ctx, self.cfg.broker_ep, self.cfg.settings);
+                self.conn_of[ix] = Some(conn);
+                self.gen_of_conn.insert(conn, ix);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PubTick>() {
+            Ok(t) => {
+                let PubTick { ix, remaining } = *t;
+                if remaining == 0 {
+                    return;
+                }
+                let Some(conn) = self.conn_of[ix] else {
+                    return;
+                };
+                let rng = self.rng.as_mut().expect("started");
+                let gen = &mut self.gens[ix];
+                gen.step(rng, self.cfg.publish_interval.as_secs_f64());
+                self.next_msg_id += 1;
+                let message =
+                    gen.narada_message(self.next_msg_id, ctx.now(), self.cfg.payload_repeat);
+                let set = self.set.as_mut().expect("started");
+                set.publish(ctx, conn, message);
+                self.stats.borrow_mut().published += 1;
+                if remaining > 1 {
+                    ctx.timer(
+                        self.cfg.publish_interval,
+                        PubTick {
+                            ix,
+                            remaining: remaining - 1,
+                        },
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ClientTimer>() {
+            Ok(t) => {
+                let set = self.set.as_mut().expect("started");
+                for ev in set.handle_timer(ctx, *t) {
+                    if matches!(ev, ClientEvent::PublishAbandoned { .. }) {
+                        self.stats.borrow_mut().abandoned += 1;
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(d) = msg.downcast::<Delivery>() {
+            let set = self.set.as_mut().expect("started");
+            let events = set.handle_delivery(ctx, *d);
+            for ev in events {
+                match ev {
+                    ClientEvent::Connected(conn) => {
+                        self.stats.borrow_mut().connected += 1;
+                        if let Some(&ix) = self.gen_of_conn.get(&conn) {
+                            let (lo, hi) = self.cfg.warmup;
+                            let delay = ctx.rng().duration_between(lo, hi);
+                            ctx.timer(
+                                delay,
+                                PubTick {
+                                    ix,
+                                    remaining: self.cfg.msgs_per_generator,
+                                },
+                            );
+                        }
+                    }
+                    ClientEvent::Refused(_, _) => {
+                        self.stats.borrow_mut().refused += 1;
+                    }
+                    ClientEvent::PublishAbandoned { .. } => {
+                        self.stats.borrow_mut().abandoned += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "narada-fleet"
+    }
+}
+
+/// The receiving program: one JMS connection, one topic subscription with
+/// the paper's selector, counting notified messages.
+pub struct NaradaSubscriber {
+    node: simos::NodeId,
+    broker_ep: Endpoint,
+    settings: ConnSettings,
+    narada: NaradaConfig,
+    selector: String,
+    set: Option<NaradaClientSet>,
+    stats: FleetStatsHandle,
+}
+
+impl NaradaSubscriber {
+    /// New subscriber with the paper's selector.
+    pub fn new(
+        node: simos::NodeId,
+        broker_ep: Endpoint,
+        settings: ConnSettings,
+        narada: NaradaConfig,
+    ) -> Self {
+        NaradaSubscriber {
+            node,
+            broker_ep,
+            settings,
+            narada,
+            selector: PAPER_SELECTOR.to_owned(),
+            set: None,
+            stats: FleetStatsHandle::default(),
+        }
+    }
+
+    /// Statistics handle (only `received` is used).
+    pub fn stats_handle(&self) -> FleetStatsHandle {
+        self.stats.clone()
+    }
+}
+
+impl Actor for NaradaSubscriber {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let mut set = NaradaClientSet::new(self.narada.clone(), self.node);
+        set.connect(ctx, self.broker_ep, self.settings);
+        self.set = Some(set);
+    }
+
+    fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
+        let set = self.set.as_mut().expect("started");
+        let msg = match msg.downcast::<ClientTimer>() {
+            Ok(t) => {
+                set.handle_timer(ctx, *t);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(d) = msg.downcast::<Delivery>() {
+            for ev in set.handle_delivery(ctx, *d) {
+                match ev {
+                    ClientEvent::Connected(conn) => {
+                        let selector = self.selector.clone();
+                        let set = self.set.as_mut().expect("started");
+                        set.subscribe(ctx, conn, 0, TOPIC, selector);
+                    }
+                    ClientEvent::MessageArrived { .. } => {
+                        self.stats.borrow_mut().received += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "narada-subscriber"
+    }
+}

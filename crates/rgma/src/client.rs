@@ -1,0 +1,426 @@
+//! Client-side R-GMA APIs: the Primary Producer client (create + insert)
+//! and the subscriber (create consumer + 100 ms polling), managed in bulk
+//! by one host actor per driver program — mirroring the paper's Java
+//! driver that forked one thread per generator.
+//!
+//! Host-actor contract: forward [`simnet::Delivery`] payloads to
+//! [`RgmaClientSet::handle_delivery`] and [`RgmaTimer`] payloads to
+//! [`RgmaClientSet::handle_timer`].
+
+use crate::config::RgmaConfig;
+use crate::protocol::{
+    ConsumerId, ConsumerRequest, ConsumerResponse, ProducerId, ProducerRequest, ProducerResponse,
+    QueryType,
+};
+use simcore::{Context, SimDuration};
+use simnet::{http, ConnId, Delivery, Endpoint, HttpResponse, NetworkFabric, Transport};
+use simos::{NodeId, OsModel};
+use std::collections::HashMap;
+use telemetry::RttCollector;
+
+/// Timer payload routed back by the host actor.
+pub struct RgmaTimer(pub u64);
+
+/// Client-side handle to one producer (== one generator connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProducerHandle(pub u32);
+
+/// Client-side handle to one subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriberHandle(pub u32);
+
+/// Client-side handle to one one-time query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryHandle(pub u32);
+
+/// Events surfaced to the host actor.
+#[derive(Debug, PartialEq)]
+pub enum RgmaEvent {
+    /// Producer instance created and usable.
+    ProducerReady(ProducerHandle),
+    /// Producer creation failed (server refused: OOM / thread limit).
+    ProducerFailed(ProducerHandle, String),
+    /// An insert was rejected by the server.
+    InsertFailed(ProducerHandle, String),
+    /// Subscriber's consumer instance created; polling started.
+    SubscriberReady(SubscriberHandle),
+    /// Subscriber creation failed.
+    SubscriberFailed(SubscriberHandle, String),
+    /// A poll returned `count` tuples.
+    Polled(SubscriberHandle, usize),
+    /// A one-time latest/history query completed with its tuples.
+    QueryCompleted(QueryHandle, Vec<(telemetry::ProbeId, wire::Tuple)>),
+    /// A one-time query failed.
+    QueryFailed(QueryHandle, String),
+}
+
+enum ReqPurpose {
+    CreateProducer(ProducerHandle),
+    Insert(ProducerHandle),
+    CreateConsumer(SubscriberHandle),
+    Poll(SubscriberHandle),
+    OneTimeQuery(QueryHandle),
+}
+
+struct ProducerState {
+    conn: ConnId,
+    server: Option<ProducerId>,
+}
+
+struct SubscriberState {
+    conn: ConnId,
+    server: Option<ConsumerId>,
+    polling: bool,
+}
+
+/// A set of R-GMA client endpoints owned by one host actor.
+pub struct RgmaClientSet {
+    cfg: RgmaConfig,
+    node: NodeId,
+    producers: HashMap<ProducerHandle, ProducerState>,
+    subscribers: HashMap<SubscriberHandle, SubscriberState>,
+    next_handle: u32,
+    pending: HashMap<u64, ReqPurpose>,
+    /// Outstanding insert probes by request id.
+    insert_probes: HashMap<u64, telemetry::ProbeId>,
+    timers: HashMap<u64, SubscriberHandle>,
+    next_req: u64,
+    next_timer: u64,
+}
+
+impl RgmaClientSet {
+    /// New client set on `node`.
+    pub fn new(cfg: RgmaConfig, node: NodeId) -> Self {
+        RgmaClientSet {
+            cfg,
+            node,
+            producers: HashMap::new(),
+            subscribers: HashMap::new(),
+            next_handle: 0,
+            pending: HashMap::new(),
+            insert_probes: HashMap::new(),
+            timers: HashMap::new(),
+            next_req: 0,
+            next_timer: 0,
+        }
+    }
+
+    fn my_ep(&self, ctx: &Context<'_>) -> Endpoint {
+        Endpoint::new(self.node, ctx.self_id())
+    }
+
+    fn req_id(&mut self) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    /// Create a Primary Producer publishing into `table` via the producer
+    /// servlet at `servlet_ep`. One dedicated HTTP connection per
+    /// producer (one server thread), as in the paper's tests.
+    pub fn create_producer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        servlet_ep: Endpoint,
+        table: impl Into<String>,
+    ) -> ProducerHandle {
+        let handle = ProducerHandle(self.next_handle);
+        self.next_handle += 1;
+        let me = self.my_ep(ctx);
+        let conn = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.open(ctx.now(), Transport::Http, me, servlet_ep)
+        });
+        self.producers.insert(
+            handle,
+            ProducerState {
+                conn,
+                server: None,
+            },
+        );
+        let rid = self.req_id();
+        self.pending.insert(rid, ReqPurpose::CreateProducer(handle));
+        let body = ProducerRequest::CreateProducer {
+            table: table.into(),
+        };
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            http::send_request(net, ctx, conn, me, rid, "/producer/create", 96, Box::new(body));
+        });
+        handle
+    }
+
+    /// Insert one tuple as a full SQL text. Instruments
+    /// `before_sending`; `after_sending` fires when the HTTP 200 lands
+    /// (insert is synchronous in the R-GMA API).
+    pub fn insert(
+        &mut self,
+        ctx: &mut Context<'_>,
+        handle: ProducerHandle,
+        sql: String,
+    ) -> telemetry::ProbeId {
+        let now = ctx.now();
+        let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        let state = self.producers.get(&handle).expect("unknown producer");
+        let server = state
+            .server
+            .expect("insert before ProducerReady — wait for the event");
+        let conn = state.conn;
+        // Client-side HTTP assembly cost.
+        let node = self.node;
+        let client_cost = self.cfg.costs.client_http;
+        let done =
+            ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), client_cost));
+        let rid = self.req_id();
+        self.pending.insert(rid, ReqPurpose::Insert(handle));
+        self.insert_probes.insert(rid, probe);
+        let bytes = sql.len();
+        let me = self.my_ep(ctx);
+        let body = ProducerRequest::Insert {
+            producer: server,
+            sql,
+            probe,
+        };
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send_at(
+                ctx,
+                conn,
+                me,
+                bytes + http::REQUEST_OVERHEAD,
+                Box::new(simnet::HttpRequest {
+                    req_id: rid,
+                    path: "/producer/insert".into(),
+                    body: Box::new(body),
+                    issued_at: done,
+                }),
+                done,
+            );
+        });
+        probe
+    }
+
+    /// Issue a one-time latest/history query against a Consumer servlet
+    /// (GMA query/response mode). The result arrives as
+    /// [`RgmaEvent::QueryCompleted`].
+    pub fn one_time_query(
+        &mut self,
+        ctx: &mut Context<'_>,
+        servlet_ep: Endpoint,
+        query: impl Into<String>,
+        query_type: QueryType,
+    ) -> QueryHandle {
+        let handle = QueryHandle(self.next_handle);
+        self.next_handle += 1;
+        let me = self.my_ep(ctx);
+        let conn = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.open(ctx.now(), Transport::Http, me, servlet_ep)
+        });
+        let rid = self.req_id();
+        self.pending.insert(rid, ReqPurpose::OneTimeQuery(handle));
+        let body = ConsumerRequest::OneTimeQuery {
+            query: query.into(),
+            query_type,
+        };
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            http::send_request(net, ctx, conn, me, rid, "/consumer/query", 128, Box::new(body));
+        });
+        handle
+    }
+
+    /// Create a subscriber: a consumer instance running `query`, polled
+    /// every `poll_period`.
+    pub fn create_subscriber(
+        &mut self,
+        ctx: &mut Context<'_>,
+        servlet_ep: Endpoint,
+        query: impl Into<String>,
+    ) -> SubscriberHandle {
+        let handle = SubscriberHandle(self.next_handle);
+        self.next_handle += 1;
+        let me = self.my_ep(ctx);
+        let conn = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.open(ctx.now(), Transport::Http, me, servlet_ep)
+        });
+        self.subscribers.insert(
+            handle,
+            SubscriberState {
+                conn,
+                server: None,
+                polling: false,
+            },
+        );
+        let rid = self.req_id();
+        self.pending.insert(rid, ReqPurpose::CreateConsumer(handle));
+        let body = ConsumerRequest::CreateConsumer {
+            query: query.into(),
+        };
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            http::send_request(net, ctx, conn, me, rid, "/consumer/create", 128, Box::new(body));
+        });
+        handle
+    }
+
+    fn send_poll(&mut self, ctx: &mut Context<'_>, handle: SubscriberHandle) {
+        let Some(state) = self.subscribers.get(&handle) else {
+            return;
+        };
+        let Some(server) = state.server else {
+            return;
+        };
+        let conn = state.conn;
+        let rid = self.req_id();
+        self.pending.insert(rid, ReqPurpose::Poll(handle));
+        let me = self.my_ep(ctx);
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            http::send_request(
+                net,
+                ctx,
+                conn,
+                me,
+                rid,
+                "/consumer/poll",
+                32,
+                Box::new(ConsumerRequest::Poll { consumer: server }),
+            );
+        });
+    }
+
+    fn arm_poll(&mut self, ctx: &mut Context<'_>, handle: SubscriberHandle) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, handle);
+        ctx.timer(self.cfg.poll_period, RgmaTimer(token));
+    }
+
+    /// Handle a network delivery addressed to the host actor.
+    pub fn handle_delivery(&mut self, ctx: &mut Context<'_>, delivery: Delivery) -> Vec<RgmaEvent> {
+        let Ok(resp) = delivery.payload.downcast::<HttpResponse>() else {
+            return Vec::new();
+        };
+        let HttpResponse {
+            req_id,
+            status,
+            body,
+        } = *resp;
+        let Some(purpose) = self.pending.remove(&req_id) else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        match purpose {
+            ReqPurpose::CreateProducer(handle) => match body.downcast::<ProducerResponse>() {
+                Ok(r) => match *r {
+                    ProducerResponse::Created { producer } => {
+                        if let Some(s) = self.producers.get_mut(&handle) {
+                            s.server = Some(producer);
+                        }
+                        events.push(RgmaEvent::ProducerReady(handle));
+                    }
+                    ProducerResponse::Error { reason } => {
+                        events.push(RgmaEvent::ProducerFailed(handle, reason));
+                    }
+                    _ => {}
+                },
+                Err(_) => events.push(RgmaEvent::ProducerFailed(
+                    handle,
+                    format!("unexpected response (status {status})"),
+                )),
+            },
+            ReqPurpose::Insert(handle) => {
+                let probe = self.insert_probes.remove(&req_id);
+                match body.downcast::<ProducerResponse>() {
+                    Ok(r) => match *r {
+                        ProducerResponse::InsertOk => {
+                            if let Some(probe) = probe {
+                                // The synchronous insert() has returned.
+                                let now = ctx.now();
+                                ctx.service_mut::<RttCollector>().after_sending(probe, now);
+                            }
+                        }
+                        ProducerResponse::Error { reason } => {
+                            events.push(RgmaEvent::InsertFailed(handle, reason));
+                        }
+                        _ => {}
+                    },
+                    Err(_) => {
+                        events.push(RgmaEvent::InsertFailed(handle, "bad response".into()))
+                    }
+                }
+            }
+            ReqPurpose::CreateConsumer(handle) => match body.downcast::<ConsumerResponse>() {
+                Ok(r) => match *r {
+                    ConsumerResponse::Created { consumer } => {
+                        if let Some(s) = self.subscribers.get_mut(&handle) {
+                            s.server = Some(consumer);
+                            s.polling = true;
+                        }
+                        events.push(RgmaEvent::SubscriberReady(handle));
+                        self.arm_poll(ctx, handle);
+                    }
+                    ConsumerResponse::Error { reason } => {
+                        events.push(RgmaEvent::SubscriberFailed(handle, reason));
+                    }
+                    _ => {}
+                },
+                Err(_) => {
+                    events.push(RgmaEvent::SubscriberFailed(handle, "bad response".into()))
+                }
+            },
+            ReqPurpose::OneTimeQuery(handle) => match body.downcast::<ConsumerResponse>() {
+                Ok(r) => match *r {
+                    ConsumerResponse::QueryResult { entries } => {
+                        events.push(RgmaEvent::QueryCompleted(handle, entries));
+                    }
+                    ConsumerResponse::Error { reason } => {
+                        events.push(RgmaEvent::QueryFailed(handle, reason));
+                    }
+                    _ => {}
+                },
+                Err(_) => events.push(RgmaEvent::QueryFailed(handle, "bad response".into())),
+            },
+            ReqPurpose::Poll(handle) => {
+                if let Ok(r) = body.downcast::<ConsumerResponse>() {
+                    if let ConsumerResponse::PollResult { entries } = *r {
+                        let n = entries.len();
+                        // Client-side processing of the poll result.
+                        let node = self.node;
+                        let cost = self.cfg.costs.client_http
+                            + SimDuration::from_micros(50 * n as u64);
+                        let done = ctx.with_service::<OsModel, _>(|os, ctx| {
+                            os.execute(node, ctx.now(), cost)
+                        });
+                        for (probe, _tuple) in entries {
+                            ctx.service_mut::<RttCollector>().after_receiving(probe, done);
+                        }
+                        events.push(RgmaEvent::Polled(handle, n));
+                    }
+                }
+                // Schedule the next poll regardless of result.
+                if self
+                    .subscribers
+                    .get(&handle)
+                    .is_some_and(|s| s.polling)
+                {
+                    self.arm_poll(ctx, handle);
+                }
+            }
+        }
+        events
+    }
+
+    /// Handle a poll timer.
+    pub fn handle_timer(&mut self, ctx: &mut Context<'_>, timer: RgmaTimer) {
+        if let Some(handle) = self.timers.remove(&timer.0) {
+            self.send_poll(ctx, handle);
+        }
+    }
+
+    /// Is the producer usable yet?
+    pub fn producer_ready(&self, handle: ProducerHandle) -> bool {
+        self.producers
+            .get(&handle)
+            .is_some_and(|p| p.server.is_some())
+    }
+
+    /// Number of producers created through this set.
+    pub fn producer_count(&self) -> usize {
+        self.producers.len()
+    }
+}

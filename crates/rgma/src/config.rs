@@ -1,0 +1,153 @@
+//! Configuration and cost model for the R-GMA-like middleware.
+//!
+//! Calibrated to gLite 3.0 R-GMA on the paper's testbed: Java servlets in
+//! Tomcat on Pentium III 866 MHz nodes, everything over HTTP. The heavy
+//! per-request servlet costs plus periodic streaming/mediation cycles are
+//! what produce the paper's long Process Time (fig 15) and the growth in
+//! figs 11–14; nothing below hard-codes an RTT.
+
+use simcore::SimDuration;
+use simos::Bytes;
+
+/// CPU costs on R-GMA server nodes (servlet container + engine).
+#[derive(Debug, Clone)]
+pub struct RgmaCostModel {
+    /// Servlet dispatch + HTTP parsing for any request.
+    pub servlet_dispatch: SimDuration,
+    /// Handling one INSERT: SQL parse + validate + storage write (fixed).
+    pub insert_base: SimDuration,
+    /// INSERT cost per SQL text byte.
+    pub insert_per_byte_ns: u64,
+    /// Producer side: assembling and sending one stream chunk.
+    pub stream_send: SimDuration,
+    /// Consumer side: ingesting one stream chunk (fixed).
+    pub chunk_ingest_base: SimDuration,
+    /// Consumer side: per tuple in an ingested chunk.
+    pub per_tuple: SimDuration,
+    /// Answering one subscriber poll.
+    pub poll_answer: SimDuration,
+    /// Registry: one register/lookup operation.
+    pub registry_op: SimDuration,
+    /// Creating a server-side producer/consumer instance.
+    pub create_instance: SimDuration,
+    /// Client-side cost to build + parse HTTP (driver JVM).
+    pub client_http: SimDuration,
+}
+
+impl Default for RgmaCostModel {
+    fn default() -> Self {
+        RgmaCostModel {
+            servlet_dispatch: SimDuration::from_micros(2_100),
+            insert_base: SimDuration::from_micros(6_200),
+            insert_per_byte_ns: 2_500,
+            stream_send: SimDuration::from_micros(3_000),
+            chunk_ingest_base: SimDuration::from_micros(6_000),
+            per_tuple: SimDuration::from_micros(1_500),
+            poll_answer: SimDuration::from_micros(3_800),
+            registry_op: SimDuration::from_micros(3_000),
+            create_instance: SimDuration::from_millis(12),
+            client_http: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// Memory model for R-GMA servers.
+#[derive(Debug, Clone)]
+pub struct RgmaMemory {
+    /// Heap per server-side producer instance (memory storage bookkeeping).
+    pub heap_per_producer: Bytes,
+    /// Heap per server-side consumer instance.
+    pub heap_per_consumer: Bytes,
+    /// Heap per stored/buffered tuple.
+    pub heap_per_tuple: Bytes,
+}
+
+impl Default for RgmaMemory {
+    fn default() -> Self {
+        RgmaMemory {
+            heap_per_producer: Bytes::kib(420),
+            heap_per_consumer: Bytes::kib(380),
+            heap_per_tuple: Bytes::kib(2),
+        }
+    }
+}
+
+/// Full R-GMA deployment configuration.
+#[derive(Debug, Clone)]
+pub struct RgmaConfig {
+    /// CPU cost model.
+    pub costs: RgmaCostModel,
+    /// Memory model.
+    pub memory: RgmaMemory,
+    /// Producer streaming cycle: buffered tuples are flushed to attached
+    /// consumer streams at this period.
+    pub streaming_period: SimDuration,
+    /// Consumer mediation cycle: the plan is refreshed against the
+    /// registry at this period (new producers join the plan here).
+    pub plan_refresh: SimDuration,
+    /// Registry propagation delay: a registration becomes visible to
+    /// lookups only after this long (drives the warm-up loss).
+    pub registry_propagation: SimDuration,
+    /// Subscriber poll period against the Consumer servlet (the paper
+    /// polled every 100 ms and noted the quantization error).
+    pub poll_period: SimDuration,
+    /// When a stream attaches to a producer instance, tuples newer than
+    /// this window are replayed from the producer's outgoing buffer;
+    /// anything older was only ever in storage and is lost to continuous
+    /// queries — the warm-up loss window.
+    pub attach_replay: SimDuration,
+    /// Latest-retention period configured on Primary Producers (paper: 30 s).
+    pub latest_retention: SimDuration,
+    /// History-retention period (paper: 1 min).
+    pub history_retention: SimDuration,
+    /// The Secondary Producer's deliberate batch delay (confirmed as 30 s
+    /// by the R-GMA developers in §III.F.3).
+    pub secondary_flush: SimDuration,
+}
+
+impl Default for RgmaConfig {
+    fn default() -> Self {
+        RgmaConfig {
+            costs: RgmaCostModel::default(),
+            memory: RgmaMemory::default(),
+            streaming_period: SimDuration::from_millis(1_500),
+            plan_refresh: SimDuration::from_secs(5),
+            registry_propagation: SimDuration::from_secs(4),
+            poll_period: SimDuration::from_millis(100),
+            attach_replay: SimDuration::from_secs(6),
+            latest_retention: SimDuration::from_secs(30),
+            history_retention: SimDuration::from_secs(60),
+            secondary_flush: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl RgmaConfig {
+    /// The gLite 3.0 configuration as tested in the paper.
+    pub fn glite_3_0() -> Self {
+        Self::default()
+    }
+
+    /// Ablation: a Secondary Producer without the deliberate 30 s delay.
+    pub fn no_secondary_delay() -> Self {
+        RgmaConfig {
+            secondary_flush: SimDuration::from_millis(500),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings() {
+        let c = RgmaConfig::glite_3_0();
+        assert_eq!(c.poll_period, SimDuration::from_millis(100));
+        assert_eq!(c.latest_retention, SimDuration::from_secs(30));
+        assert_eq!(c.history_retention, SimDuration::from_secs(60));
+        assert_eq!(c.secondary_flush, SimDuration::from_secs(30));
+        assert!(RgmaConfig::no_secondary_delay().secondary_flush < SimDuration::from_secs(1));
+    }
+}

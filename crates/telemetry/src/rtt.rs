@@ -1,0 +1,277 @@
+//! Per-message round-trip records, loss accounting, and the paper's RTT
+//! decomposition `RTT = PRT + PT + SRT`.
+//!
+//! Instrumentation points mirror fig 15:
+//!
+//! * `before_sending`  — the application calls publish/insert.
+//! * `after_sending`   — the synchronous send operation returns.
+//! * `before_receiving`— the middleware makes the message available to the
+//!   receiving client (notification fired / poll response begins).
+//! * `after_receiving` — the receiving application has the message.
+//!
+//! PRT = after_sending − before_sending (Publishing Response Time),
+//! PT = before_receiving − after_sending (Process Time),
+//! SRT = after_receiving − before_receiving (Subscribing Response Time).
+
+use crate::histogram::LatencyHistogram;
+use crate::stats::Welford;
+use simcore::SimTime;
+
+/// Handle to one in-flight probe record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbeId(pub u64);
+
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    before_sending: SimTime,
+    after_sending: Option<SimTime>,
+    before_receiving: Option<SimTime>,
+    after_receiving: Option<SimTime>,
+}
+
+/// Summary of a completed experiment's message telemetry.
+#[derive(Debug, Clone)]
+pub struct RttSummary {
+    /// Messages sent.
+    pub sent: u64,
+    /// Messages fully received.
+    pub received: u64,
+    /// Loss rate in `[0,1]`.
+    pub loss_rate: f64,
+    /// Mean round-trip time, milliseconds.
+    pub rtt_mean_ms: f64,
+    /// RTT standard deviation, milliseconds.
+    pub rtt_stddev_ms: f64,
+    /// RTT at 95..100 percentiles, milliseconds.
+    pub percentiles_ms: Vec<(u32, f64)>,
+    /// Mean PRT (publishing response time), ms.
+    pub prt_mean_ms: f64,
+    /// Mean PT (middleware process time), ms.
+    pub pt_mean_ms: f64,
+    /// Mean SRT (subscribing response time), ms.
+    pub srt_mean_ms: f64,
+    /// Fraction of messages within 100 ms (paper's "99.8 % within 100 ms").
+    pub within_100ms: f64,
+    /// Fraction within the 5 s soft real-time budget of §I.
+    pub within_5s: f64,
+}
+
+/// The measurement service: middlewares and clients report instants; the
+/// experiment reads the summary at the end.
+pub struct RttCollector {
+    records: Vec<Record>,
+    rtt: Welford,
+    prt: Welford,
+    pt: Welford,
+    srt: Welford,
+    hist: LatencyHistogram,
+}
+
+impl Default for RttCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        RttCollector {
+            records: Vec::new(),
+            rtt: Welford::new(),
+            prt: Welford::new(),
+            pt: Welford::new(),
+            srt: Welford::new(),
+            hist: LatencyHistogram::new(),
+        }
+    }
+
+    /// The application is about to send; returns the probe handle.
+    pub fn before_sending(&mut self, now: SimTime) -> ProbeId {
+        let id = ProbeId(self.records.len() as u64);
+        self.records.push(Record {
+            before_sending: now,
+            after_sending: None,
+            before_receiving: None,
+            after_receiving: None,
+        });
+        id
+    }
+
+    /// The synchronous send completed.
+    pub fn after_sending(&mut self, id: ProbeId, now: SimTime) {
+        let r = &mut self.records[id.0 as usize];
+        debug_assert!(r.after_sending.is_none(), "double after_sending");
+        r.after_sending = Some(now);
+    }
+
+    /// The middleware made the message available to the subscriber.
+    pub fn before_receiving(&mut self, id: ProbeId, now: SimTime) {
+        let r = &mut self.records[id.0 as usize];
+        // Idempotent: with redelivery (UDP retransmit) keep the first.
+        if r.before_receiving.is_none() {
+            r.before_receiving = Some(now);
+        }
+    }
+
+    /// The receiving application has the message. Duplicate deliveries
+    /// (UDP retransmission) are counted once — first delivery wins.
+    pub fn after_receiving(&mut self, id: ProbeId, now: SimTime) {
+        let r = &mut self.records[id.0 as usize];
+        if r.after_receiving.is_some() {
+            return;
+        }
+        r.after_receiving = Some(now);
+        let rtt = now.saturating_since(r.before_sending);
+        self.rtt.push(rtt.as_millis_f64());
+        self.hist.record(rtt.as_micros());
+        if let Some(aft) = r.after_sending {
+            self.prt
+                .push(aft.saturating_since(r.before_sending).as_millis_f64());
+            if let Some(bef_rx) = r.before_receiving {
+                self.pt.push(bef_rx.saturating_since(aft).as_millis_f64());
+                self.srt.push(now.saturating_since(bef_rx).as_millis_f64());
+            }
+        }
+    }
+
+    /// Messages sent so far.
+    pub fn sent(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Messages received so far.
+    pub fn received(&self) -> u64 {
+        self.rtt.count()
+    }
+
+    /// Direct access to the latency histogram.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Summarize at end of experiment.
+    pub fn summary(&self) -> RttSummary {
+        let sent = self.sent();
+        let received = self.received();
+        let loss_rate = if sent == 0 {
+            0.0
+        } else {
+            (sent - received) as f64 / sent as f64
+        };
+        RttSummary {
+            sent,
+            received,
+            loss_rate,
+            rtt_mean_ms: self.rtt.mean(),
+            rtt_stddev_ms: self.rtt.stddev(),
+            percentiles_ms: self
+                .hist
+                .percentile_series()
+                .into_iter()
+                .map(|(p, us)| (p, us as f64 / 1000.0))
+                .collect(),
+            prt_mean_ms: self.prt.mean(),
+            pt_mean_ms: self.pt.mean(),
+            srt_mean_ms: self.srt.mean(),
+            within_100ms: self.hist.fraction_le(100_000),
+            within_5s: self.hist.fraction_le(5_000_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn full_lifecycle_decomposition() {
+        let mut c = RttCollector::new();
+        let id = c.before_sending(t(1000));
+        c.after_sending(id, t(1010));
+        c.before_receiving(id, t(1500));
+        c.after_receiving(id, t(1520));
+        let s = c.summary();
+        assert_eq!(s.sent, 1);
+        assert_eq!(s.received, 1);
+        assert_eq!(s.loss_rate, 0.0);
+        assert!((s.rtt_mean_ms - 520.0).abs() < 1e-9);
+        assert!((s.prt_mean_ms - 10.0).abs() < 1e-9);
+        assert!((s.pt_mean_ms - 490.0).abs() < 1e-9);
+        assert!((s.srt_mean_ms - 20.0).abs() < 1e-9);
+        // RTT = PRT + PT + SRT (the paper's equation).
+        assert!(
+            (s.rtt_mean_ms - (s.prt_mean_ms + s.pt_mean_ms + s.srt_mean_ms)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn loss_counts_unreceived() {
+        let mut c = RttCollector::new();
+        for i in 0..10 {
+            let id = c.before_sending(t(i));
+            c.after_sending(id, t(i + 1));
+            if i % 5 != 0 {
+                c.after_receiving(id, t(i + 3));
+            }
+        }
+        let s = c.summary();
+        assert_eq!(s.sent, 10);
+        assert_eq!(s.received, 8);
+        assert!((s.loss_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_delivery_counted_once() {
+        let mut c = RttCollector::new();
+        let id = c.before_sending(t(0));
+        c.after_sending(id, t(1));
+        c.after_receiving(id, t(5));
+        c.after_receiving(id, t(9)); // retransmitted duplicate
+        let s = c.summary();
+        assert_eq!(s.received, 1);
+        assert!((s.rtt_mean_ms - 5.0).abs() < 1e-9, "first delivery wins");
+    }
+
+    #[test]
+    fn percentiles_and_budgets() {
+        let mut c = RttCollector::new();
+        for i in 1..=100u64 {
+            let id = c.before_sending(t(0));
+            c.after_sending(id, t(0));
+            c.before_receiving(id, t(i));
+            c.after_receiving(id, t(i));
+        }
+        let s = c.summary();
+        assert_eq!(s.percentiles_ms.len(), 6);
+        assert_eq!(s.percentiles_ms[5], (100, 100.0));
+        assert!(s.within_100ms >= 0.99);
+        assert_eq!(s.within_5s, 1.0);
+    }
+
+    #[test]
+    fn stddev_matches_paper_definition() {
+        // Two RTTs: 10 and 20 ms → mean 15, population stddev 5.
+        let mut c = RttCollector::new();
+        for ms in [10u64, 20] {
+            let id = c.before_sending(t(0));
+            c.after_sending(id, t(0));
+            c.after_receiving(id, t(ms));
+        }
+        let s = c.summary();
+        assert!((s.rtt_mean_ms - 15.0).abs() < 1e-9);
+        assert!((s.rtt_stddev_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = RttCollector::new().summary();
+        assert_eq!(s.sent, 0);
+        assert_eq!(s.loss_rate, 0.0);
+        assert!(s.percentiles_ms.is_empty());
+    }
+}

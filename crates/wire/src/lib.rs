@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! # wire — the message model shared by both middlewares
+//!
+//! * [`Value`] — dynamically-typed cells used by JMS map bodies, selector
+//!   properties, and R-GMA tuples, with SQL/JMS three-valued comparison.
+//! * [`Message`] — JMS-style messages (headers, properties, Map/Text/Bytes
+//!   bodies) with an exact wire-size model.
+//! * [`Tuple`] / [`Column`] — relational rows for the R-GMA virtual
+//!   database.
+//! * [`codec`] — a real binary codec; `wire_size()` is asserted equal to
+//!   the true encoded length, keeping the simulator's byte accounting
+//!   honest.
+
+pub mod codec;
+pub mod message;
+pub mod tuple;
+pub mod value;
+
+pub use codec::{decode_message, decode_tuple, encode_message, encode_tuple, CodecError};
+pub use message::{Body, DeliveryMode, Headers, Message, MessageId};
+pub use tuple::{Column, Tuple};
+pub use value::{Value, ValueType};

@@ -1,0 +1,65 @@
+//! The paper's motivating scenario (§I): soft real-time monitoring of a
+//! large fleet of dispersed renewable generators.
+//!
+//! Requirements from the introduction: most monitoring data must arrive
+//! within a predefined limit (e.g. 5 seconds), with a small tolerated
+//! delay fraction (e.g. under 0.5 %). This example runs a 750-generator
+//! fleet — the paper's standard per-node load — against both middlewares
+//! and evaluates those requirements.
+//!
+//! ```sh
+//! cargo run --release --example power_grid_monitoring
+//! ```
+
+use gridmon::core::{run_experiment, ExperimentSpec, SystemUnderTest};
+
+const BUDGET_FRACTION: f64 = 0.995; // ≥ 99.5 % must arrive in time
+
+fn main() {
+    let generators = 750;
+    let msgs = 30; // 5 simulated minutes per generator
+
+    println!("power-grid monitoring acceptance test: {generators} generators");
+    println!("requirement: ≥ {:.1}% of telemetry within 5 s\n", BUDGET_FRACTION * 100.0);
+
+    let narada = run_experiment(
+        &ExperimentSpec::paper_default(
+            "powergrid/narada",
+            SystemUnderTest::NaradaSingle,
+            generators,
+        )
+        .scaled(msgs),
+    );
+    let rgma = run_experiment(
+        &ExperimentSpec::paper_default(
+            "powergrid/rgma",
+            SystemUnderTest::RgmaDistributed,
+            generators,
+        )
+        .scaled(msgs),
+    );
+
+    for (name, r) in [("NaradaBrokering", &narada), ("R-GMA (distributed)", &rgma)] {
+        let s = &r.summary;
+        let timely = s.within_5s * (1.0 - s.loss_rate);
+        let verdict = if timely >= BUDGET_FRACTION {
+            "MEETS the soft real-time requirement"
+        } else {
+            "does NOT meet the requirement"
+        };
+        println!("{name}:");
+        println!("  mean RTT        : {:.1} ms (p100 {:.1} ms)", s.rtt_mean_ms,
+            s.percentiles_ms.last().map(|p| p.1).unwrap_or(0.0));
+        println!("  loss            : {:.3}%", s.loss_rate * 100.0);
+        println!("  within 5 s      : {:.3}% of delivered", s.within_5s * 100.0);
+        println!("  within 100 ms   : {:.3}%", s.within_100ms * 100.0);
+        println!("  server CPU idle : {:.0}%", r.server_idle * 100.0);
+        println!("  → {verdict}\n");
+    }
+
+    // The paper's conclusion at this scale: both deliver within 5 s, but
+    // only Narada leaves real-time headroom (99.8 % within 100 ms).
+    assert!(narada.summary.within_5s * (1.0 - narada.summary.loss_rate) >= BUDGET_FRACTION);
+    assert!(narada.summary.within_100ms > 0.99);
+    assert!(rgma.summary.rtt_mean_ms > narada.summary.rtt_mean_ms * 10.0);
+}

@@ -1,0 +1,46 @@
+//! Quickstart: stand up a simulated two-node cluster, run one Narada
+//! broker, publish telemetry from a handful of generators, and print the
+//! measured round-trip statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gridmon::core::{run_experiment, ExperimentSpec, SystemUnderTest};
+
+fn main() {
+    // One broker, 10 generator connections, 12 messages each — the
+    // smallest end-to-end run that exercises connect → subscribe →
+    // publish → match → deliver → acknowledge.
+    let spec = ExperimentSpec::paper_default(
+        "quickstart",
+        SystemUnderTest::NaradaSingle,
+        10,
+    )
+    .scaled(12);
+
+    println!("running: {} generators, {} messages each…", spec.generators, 12);
+    let result = run_experiment(&spec);
+    let s = &result.summary;
+
+    println!("\n— results —");
+    println!("connections accepted : {}", result.connected);
+    println!("messages sent        : {}", s.sent);
+    println!("messages received    : {}", s.received);
+    println!("loss rate            : {:.4}%", s.loss_rate * 100.0);
+    println!("mean RTT             : {:.2} ms", s.rtt_mean_ms);
+    println!("RTT stddev           : {:.2} ms", s.rtt_stddev_ms);
+    for (p, v) in &s.percentiles_ms {
+        println!("p{p:<3}                 : {v:.2} ms");
+    }
+    println!(
+        "decomposition        : PRT {:.2} + PT {:.2} + SRT {:.2} ms",
+        s.prt_mean_ms, s.pt_mean_ms, s.srt_mean_ms
+    );
+    println!(
+        "soft real-time       : {:.2}% within 100 ms, {:.2}% within 5 s",
+        s.within_100ms * 100.0,
+        s.within_5s * 100.0
+    );
+    assert_eq!(s.sent, s.received, "quickstart should be lossless");
+}

@@ -1,0 +1,270 @@
+//! Cross-crate integration tests: scaled-down versions of every paper
+//! finding, asserting the qualitative orderings the study reports.
+//! (Full-scale numbers are produced by the `repro` binary and recorded
+//! in EXPERIMENTS.md.)
+
+use gridmon::core::{run_all, run_experiment, scenarios, ExperimentSpec, SystemUnderTest};
+
+const MSGS: u32 = 4;
+
+#[test]
+fn fig3_transport_ordering() {
+    let results = run_all(&scenarios::table2_specs(MSGS), 0);
+    let rtt: Vec<f64> = results.iter().map(|r| r.summary.rtt_mean_ms).collect();
+    let (udp, udp_cli, nio, tcp, triple, eighty) =
+        (rtt[0], rtt[1], rtt[2], rtt[3], rtt[4], rtt[5]);
+    // "TCP is a very stable transport protocol and has excellent
+    // performance. The results of UDP are surprisingly high."
+    assert!(udp > tcp * 1.3, "UDP {udp} should be well above TCP {tcp}");
+    assert!(udp_cli > tcp, "CLIENT-ack UDP still above TCP");
+    assert!(udp_cli <= udp * 1.1, "CLIENT ack should not be slower than AUTO");
+    // "The performance slowed down with large payload."
+    assert!(triple > tcp, "Triple {triple} above TCP {tcp}");
+    // Fewer connections at higher rate is the fastest configuration.
+    assert!(eighty < tcp, "80 conns {eighty} below TCP {tcp}");
+    // NIO close to TCP but not faster.
+    assert!(nio >= tcp && nio < tcp * 2.0);
+}
+
+#[test]
+fn udp_loss_rates_match_paper_mechanisms() {
+    let results = run_all(&scenarios::table2_specs(30), 0);
+    let udp = &results[0].summary;
+    let udp_cli = &results[1].summary;
+    let tcp = &results[3].summary;
+    assert!(udp.loss_rate > 0.0, "UDP AUTO loses a small fraction");
+    assert!(udp.loss_rate < 0.01, "but well under 1%");
+    assert!(
+        udp_cli.loss_rate <= udp.loss_rate,
+        "CLIENT-ack gap recovery reduces loss ({} vs {})",
+        udp_cli.loss_rate,
+        udp.loss_rate
+    );
+    assert_eq!(tcp.loss_rate, 0.0, "TCP never loses");
+}
+
+#[test]
+fn fig7_rtt_grows_with_connections() {
+    let results = run_all(&scenarios::narada_single_specs(MSGS), 0);
+    let rtts: Vec<f64> = results.iter().map(|r| r.summary.rtt_mean_ms).collect();
+    for w in rtts.windows(2) {
+        assert!(w[1] > w[0], "RTT must increase with connections: {rtts:?}");
+    }
+    assert!(
+        rtts.last().unwrap() / rtts.first().unwrap() > 2.0,
+        "substantial growth from 500 to 3000: {rtts:?}"
+    );
+    // "99.8% of messages arrived within 100 milliseconds."
+    for r in &results {
+        assert!(
+            r.summary.within_100ms > 0.99,
+            "{}: {}",
+            r.name,
+            r.summary.within_100ms
+        );
+        assert_eq!(r.refused, 0, "single broker accepts up to 3000");
+    }
+}
+
+#[test]
+fn narada_connection_ceiling_between_3000_and_4000() {
+    let ok = run_experiment(
+        &ExperimentSpec::paper_default("ceiling/3000", SystemUnderTest::NaradaSingle, 3000)
+            .scaled(2),
+    );
+    assert_eq!(ok.refused, 0);
+    let fail = run_experiment(&scenarios::narada_single_4000(2));
+    assert!(fail.refused > 0, "4000 connections must be refused");
+    assert!(fail.connected >= 3800, "but most are accepted first");
+}
+
+#[test]
+fn fig7_dbn_scales_past_single_broker_without_speedup() {
+    let dbn = run_all(&scenarios::narada_dbn_specs(MSGS), 0);
+    for r in &dbn {
+        assert_eq!(r.refused, 0, "{}: DBN accepts all connections", r.name);
+    }
+    let single_3000 = run_all(&scenarios::narada_single_specs(MSGS), 0)
+        .into_iter()
+        .find(|r| r.generators == 3000)
+        .unwrap();
+    let dbn_3000 = dbn.iter().find(|r| r.generators == 3000).unwrap();
+    // The paper's disappointment: despite three brokers, the DBN is no
+    // faster than a single broker (broadcast deficiency).
+    assert!(
+        dbn_3000.summary.rtt_mean_ms > single_3000.summary.rtt_mean_ms * 0.5,
+        "DBN RTT {} should not beat single {} by much",
+        dbn_3000.summary.rtt_mean_ms,
+        single_3000.summary.rtt_mean_ms
+    );
+    assert!(
+        dbn_3000.broker_forwards > 0,
+        "v1.1.3 floods messages between brokers"
+    );
+}
+
+#[test]
+fn rgma_is_orders_of_magnitude_slower_than_narada() {
+    let narada = run_experiment(
+        &ExperimentSpec::paper_default("cmp/n", SystemUnderTest::NaradaSingle, 200).scaled(MSGS),
+    );
+    let rgma = run_experiment(
+        &ExperimentSpec::paper_default("cmp/r", SystemUnderTest::RgmaSingle, 200).scaled(MSGS),
+    );
+    assert!(
+        rgma.summary.rtt_mean_ms > narada.summary.rtt_mean_ms * 20.0,
+        "rgma {} vs narada {}",
+        rgma.summary.rtt_mean_ms,
+        narada.summary.rtt_mean_ms
+    );
+    // Fig 15: the R-GMA delay lives in the middleware Process Time.
+    assert!(rgma.summary.pt_mean_ms > rgma.summary.prt_mean_ms * 5.0);
+    assert!(rgma.summary.pt_mean_ms > rgma.summary.srt_mean_ms * 5.0);
+    // Narada's three phases are all short (single-digit ms).
+    assert!(narada.summary.prt_mean_ms < 10.0);
+    assert!(narada.summary.pt_mean_ms < 20.0);
+    assert!(narada.summary.srt_mean_ms < 10.0);
+}
+
+#[test]
+fn rgma_connection_ceiling_near_800() {
+    let ok = run_experiment(
+        &ExperimentSpec::paper_default("rc/600", SystemUnderTest::RgmaSingle, 600).scaled(2),
+    );
+    assert_eq!(ok.refused, 0, "600 connections fit");
+    let fail = run_experiment(&scenarios::rgma_single_800(2));
+    assert!(fail.refused > 0, "800 connections exceed one server");
+}
+
+#[test]
+fn rgma_distributed_beats_single_and_reaches_1000() {
+    let single = run_all(&scenarios::rgma_single_specs(MSGS), 0);
+    let dist = run_all(&scenarios::rgma_distributed_specs(MSGS), 0);
+    let s600 = single.iter().find(|r| r.generators == 600).unwrap();
+    let d600 = dist.iter().find(|r| r.generators == 600).unwrap();
+    assert!(
+        d600.summary.rtt_mean_ms < s600.summary.rtt_mean_ms,
+        "distributed {} < single {}",
+        d600.summary.rtt_mean_ms,
+        s600.summary.rtt_mean_ms
+    );
+    assert!(
+        d600.server_idle > s600.server_idle,
+        "distributed spreads CPU load"
+    );
+    let d1000 = dist.iter().find(|r| r.generators == 1000).unwrap();
+    assert_eq!(d1000.refused, 0, "the distributed deployment reaches 1000");
+}
+
+#[test]
+fn fig10_secondary_producer_delays_dominate() {
+    let results = run_all(&scenarios::rgma_secondary_specs(3), 0);
+    for r in &results {
+        assert!(
+            r.summary.rtt_mean_ms > 10_000.0,
+            "{}: secondary chain RTT {} must be tens of seconds",
+            r.name,
+            r.summary.rtt_mean_ms
+        );
+        let p100 = r.summary.percentiles_ms.last().unwrap().1;
+        assert!(
+            p100 < 45_000.0,
+            "{}: bounded by ~35-40 s as in fig 10, got {}",
+            r.name,
+            p100
+        );
+    }
+}
+
+#[test]
+fn warmup_loss_appears_and_disappears() {
+    let lossy = run_experiment(&scenarios::rgma_no_warmup_spec(6));
+    assert!(
+        lossy.summary.loss_rate > 0.0,
+        "publishing immediately loses early tuples"
+    );
+    assert!(lossy.summary.loss_rate < 0.2, "but only the first tuple or so");
+    let clean = run_experiment(
+        &ExperimentSpec::paper_default("warm/400", SystemUnderTest::RgmaSingle, 400).scaled(6),
+    );
+    assert_eq!(
+        clean.summary.loss_rate, 0.0,
+        "the paper's 10-20 s wait removes the loss entirely"
+    );
+}
+
+#[test]
+fn table3_quadrant_holds() {
+    // The study's summary table: Narada very good at real-time, average
+    // scalability; R-GMA average at real-time, very good scalability.
+    let n = run_experiment(
+        &ExperimentSpec::paper_default("t3/n", SystemUnderTest::NaradaSingle, 400).scaled(MSGS),
+    );
+    let r = run_experiment(
+        &ExperimentSpec::paper_default("t3/r", SystemUnderTest::RgmaSingle, 400).scaled(MSGS),
+    );
+    assert!(n.summary.rtt_mean_ms < 50.0, "Narada real-time: very good");
+    assert!(
+        r.summary.rtt_mean_ms > 200.0,
+        "R-GMA real-time: average at best"
+    );
+    assert!(
+        r.summary.within_5s > 0.99,
+        "but R-GMA still fits the 5 s soft budget at this scale"
+    );
+}
+
+#[test]
+fn ablation_aggregation_trades_latency_for_broker_cpu() {
+    let results = run_all(&scenarios::aggregation_ablation(30, 200), 0);
+    // Constant byte rate: higher aggregation ⇒ fewer wire messages ⇒ more
+    // idle broker CPU, at a small per-message RTT cost (the RMM claim:
+    // message quantity dominates middleware overhead).
+    let idle: Vec<f64> = results.iter().map(|r| r.server_idle).collect();
+    let rtt: Vec<f64> = results.iter().map(|r| r.summary.rtt_mean_ms).collect();
+    let sent: Vec<u64> = results.iter().map(|r| r.summary.sent).collect();
+    assert!(sent[0] > sent[1] && sent[1] > sent[2], "fewer wire messages: {sent:?}");
+    assert!(
+        idle[2] > idle[0],
+        "10x aggregation must relieve the broker: {idle:?}"
+    );
+    assert!(
+        rtt[2] > rtt[0],
+        "bigger messages cost per-message latency: {rtt:?}"
+    );
+}
+
+#[test]
+fn ablation_poll_period_sets_subscribing_response_time() {
+    let results = run_all(&scenarios::poll_period_ablation(6), 0);
+    // SRT ≈ poll period / 2 (+ HTTP + client costs): strictly increasing
+    // in the poll period, and the 1 s poll adds ~450 ms over the 10 ms one.
+    let srt: Vec<f64> = results.iter().map(|r| r.summary.srt_mean_ms).collect();
+    for w in srt.windows(2) {
+        assert!(w[1] > w[0], "SRT must grow with the poll period: {srt:?}");
+    }
+    let delta = srt[3] - srt[0];
+    assert!(
+        (350.0..650.0).contains(&delta),
+        "1 s vs 10 ms polling should differ by ≈ 495 ms of expected wait: {delta}"
+    );
+}
+
+#[test]
+fn ablation_routing_fix_removes_waste_without_hurting_delivery() {
+    let results = run_all(&scenarios::dbn_routing_ablation(6, 300), 0);
+    let broadcast = &results[0];
+    let routed = &results[1];
+    assert_eq!(broadcast.summary.received, broadcast.summary.sent);
+    assert_eq!(routed.summary.received, routed.summary.sent);
+    assert!(
+        broadcast.broker_forwards >= 3 * routed.broker_forwards,
+        "flooding multiplies inter-broker traffic: {} vs {}",
+        broadcast.broker_forwards,
+        routed.broker_forwards
+    );
+    assert!(
+        routed.server_idle >= broadcast.server_idle,
+        "routing saves broker CPU"
+    );
+}

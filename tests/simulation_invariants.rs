@@ -1,0 +1,84 @@
+//! Property-based invariants over whole experiments: conservation,
+//! determinism, and metric sanity for randomly drawn configurations.
+
+use gridmon::core::{run_experiment, ExperimentSpec, SystemUnderTest};
+use gridmon::jms::AckMode;
+use gridmon::simnet::Transport;
+use proptest::prelude::*;
+
+fn arb_system() -> impl Strategy<Value = SystemUnderTest> {
+    prop_oneof![
+        Just(SystemUnderTest::NaradaSingle),
+        Just(SystemUnderTest::NaradaDbn { brokers: 3 }),
+        Just(SystemUnderTest::RgmaSingle),
+        Just(SystemUnderTest::RgmaDistributed),
+    ]
+}
+
+fn arb_transport() -> impl Strategy<Value = Transport> {
+    prop_oneof![
+        Just(Transport::Tcp),
+        Just(Transport::Nio),
+        Just(Transport::Udp),
+    ]
+}
+
+prop_compose! {
+    fn arb_spec()(
+        system in arb_system(),
+        transport in arb_transport(),
+        client_ack in any::<bool>(),
+        generators in 2usize..40,
+        msgs in 1u32..5,
+        seed in any::<u64>(),
+    ) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_default("prop", system, generators).scaled(msgs);
+        spec.transport = transport;
+        spec.ack_mode = if client_ack { AckMode::Client } else { AckMode::Auto };
+        spec.seed = seed;
+        spec
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_and_sanity(spec in arb_spec()) {
+        let r = run_experiment(&spec);
+        let s = &r.summary;
+        // Conservation: everything sent is either received or lost.
+        prop_assert!(s.received <= s.sent, "received {} > sent {}", s.received, s.sent);
+        prop_assert_eq!(s.sent, spec.total_messages() * u64::from(r.connected) / spec.generators as u64);
+        // Only UDP may lose (R-GMA at these scales, with warm-up, is lossless).
+        if spec.transport != Transport::Udp || spec.system.is_rgma() {
+            prop_assert_eq!(s.received, s.sent, "lossless configuration lost messages");
+        }
+        // Metric sanity.
+        prop_assert!(s.rtt_mean_ms >= 0.0);
+        prop_assert!(s.rtt_stddev_ms >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&s.loss_rate));
+        prop_assert!((0.0..=1.0).contains(&r.server_idle));
+        for w in s.percentiles_ms.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "percentiles must be monotone");
+        }
+        // Decomposition adds up (when all phases were observed).
+        if s.received > 0 && s.prt_mean_ms > 0.0 && s.srt_mean_ms > 0.0 {
+            let total = s.prt_mean_ms + s.pt_mean_ms + s.srt_mean_ms;
+            prop_assert!(
+                (total - s.rtt_mean_ms).abs() < s.rtt_mean_ms * 0.05 + 0.1,
+                "RTT {} != PRT+PT+SRT {}", s.rtt_mean_ms, total
+            );
+        }
+    }
+
+    #[test]
+    fn determinism(spec in arb_spec()) {
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        prop_assert_eq!(a.summary.sent, b.summary.sent);
+        prop_assert_eq!(a.summary.received, b.summary.received);
+        prop_assert_eq!(a.summary.rtt_mean_ms.to_bits(), b.summary.rtt_mean_ms.to_bits());
+        prop_assert_eq!(a.events, b.events);
+    }
+}
