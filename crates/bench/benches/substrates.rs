@@ -39,8 +39,12 @@ fn bench_selector(c: &mut Criterion) {
         "(id BETWEEN 0 AND 750 AND region IN ('uk','ie')) OR site LIKE 'hydra%'",
     )
     .unwrap();
-    g.bench_function("eval_simple", |b| b.iter(|| simple.matches(black_box(&msg))));
-    g.bench_function("eval_complex", |b| b.iter(|| complex.matches(black_box(&msg))));
+    g.bench_function("eval_simple", |b| {
+        b.iter(|| simple.matches(black_box(&msg)))
+    });
+    g.bench_function("eval_complex", |b| {
+        b.iter(|| complex.matches(black_box(&msg)))
+    });
     g.finish();
 }
 
@@ -67,7 +71,11 @@ fn bench_minisql(c: &mut Criterion) {
         unreachable!()
     };
     g.bench_function("normalize_insert", |b| {
-        b.iter(|| schema.normalize_insert(black_box(&columns), black_box(&values)).unwrap())
+        b.iter(|| {
+            schema
+                .normalize_insert(black_box(&columns), black_box(&values))
+                .unwrap()
+        })
     });
     let row = schema.normalize_insert(&columns, &values).unwrap();
     let minisql::Statement::Select { predicate, .. } =

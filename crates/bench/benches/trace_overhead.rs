@@ -1,0 +1,36 @@
+//! Overhead of the `simtrace` instrumentation when tracing is disabled.
+//!
+//! Every instrumentation site goes through `simtrace::with_trace`, which
+//! is a single service-map probe when no `TraceCollector` is registered.
+//! This bench pins the claim that tracing is free when off: the untraced
+//! experiment (the default, identical to the pre-instrumentation hot
+//! path) vs the same spec with the collector registered. The `off`
+//! numbers are the regression sentinel — they must not drift from the
+//! other experiment benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridmon_core::{run_experiment, ExperimentSpec, SystemUnderTest};
+
+const MSGS: u32 = 8;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(20);
+    for (label, system) in [
+        ("narada", SystemUnderTest::NaradaSingle),
+        ("rgma", SystemUnderTest::RgmaSingle),
+    ] {
+        let off = ExperimentSpec::paper_default(format!("bench/{label}"), system, 8).scaled(MSGS);
+        let on = off.clone().traced();
+        g.bench_with_input(BenchmarkId::new("off", label), &off, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+        g.bench_with_input(BenchmarkId::new("on", label), &on, |b, spec| {
+            b.iter(|| run_experiment(spec))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -3,7 +3,10 @@
 use gridmon_core::{run_all, scenarios};
 
 fn main() {
-    let msgs: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let msgs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let mut specs = Vec::new();
     specs.extend(scenarios::table2_specs(msgs));
     specs.extend(scenarios::narada_single_specs(msgs));

@@ -5,15 +5,18 @@ use crate::calibration;
 use jms::AckMode;
 use narada::{BrokerNetwork, ConnSettings, NaradaConfig};
 use powergrid::{
-    FleetStatsHandle, NaradaFleet, NaradaFleetConfig, NaradaSubscriber, RgmaFleet,
-    RgmaFleetConfig, RgmaSubscriber, TABLE_SQL,
+    FleetStatsHandle, NaradaFleet, NaradaFleetConfig, NaradaSubscriber, RgmaFleet, RgmaFleetConfig,
+    RgmaSubscriber, TABLE_SQL,
 };
-use rgma::{ConsumerControl, ConsumerServlet, ProducerControl, ProducerServlet, RegistryActor,
-    RgmaConfig, SecondaryProducer};
+use rgma::{
+    ConsumerControl, ConsumerServlet, ProducerControl, ProducerServlet, RegistryActor, RgmaConfig,
+    SecondaryProducer,
+};
 use simcore::{SimDuration, SimTime, Simulation};
 use simnet::{Endpoint, NetworkFabric, Transport};
 use simos::{NodeId, OsModel, ProcessId, VmstatLog, VmstatSampler};
-use telemetry::{RttCollector, RttSummary};
+use simtrace::{TraceCollector, TraceId, TraceSampler, TraceSummary};
+use telemetry::{ProbeId, RttCollector, RttSummary};
 
 /// Which deployment is under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,12 +77,20 @@ pub struct ExperimentSpec {
     pub dbn_broadcast: bool,
     /// Override the R-GMA configuration (None = gLite 3.0 defaults).
     pub rgma_config: Option<RgmaConfig>,
+    /// Enable `simtrace` lifecycle tracing. Off by default: no collector
+    /// service is registered, so every instrumentation site reduces to
+    /// one failed type-map probe.
+    pub trace: bool,
 }
 
 impl ExperimentSpec {
     /// A paper-faithful spec with the standard settings; customize from
     /// here.
-    pub fn paper_default(name: impl Into<String>, system: SystemUnderTest, generators: usize) -> Self {
+    pub fn paper_default(
+        name: impl Into<String>,
+        system: SystemUnderTest,
+        generators: usize,
+    ) -> Self {
         ExperimentSpec {
             name: name.into(),
             system,
@@ -93,7 +104,14 @@ impl ExperimentSpec {
             seed: 0x9e3779b97f4a7c15,
             dbn_broadcast: true,
             rgma_config: None,
+            trace: false,
         }
+    }
+
+    /// Enable per-message lifecycle tracing for this run.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// A scaled-down variant for tests and criterion benches: fewer
@@ -107,6 +125,21 @@ impl ExperimentSpec {
     pub fn total_messages(&self) -> u64 {
         self.generators as u64 * u64::from(self.msgs_per_generator)
     }
+}
+
+/// Trace artifacts produced by a traced run (`spec.trace = true`).
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    /// JSON Lines export: every event plus the unified resource log
+    /// (counter samples merged with vmstat rows).
+    pub jsonl: String,
+    /// Chrome `trace_event` JSON (open in Perfetto / `chrome://tracing`).
+    pub chrome: String,
+    /// Per-message PRT/PT/SRT reconstruction.
+    pub summary: TraceSummary,
+    /// Cross-check failures against the independent `RttCollector`
+    /// instants. Non-empty means one instrumentation path is buggy.
+    pub disagreements: Vec<String>,
 }
 
 /// Everything measured in one run.
@@ -134,6 +167,8 @@ pub struct ExperimentResult {
     pub sim_time: SimTime,
     /// Kernel events processed (cost indicator).
     pub events: u64,
+    /// Trace exports and cross-check (only when `spec.trace` was set).
+    pub trace: Option<TraceArtifacts>,
 }
 
 /// Deploy and run one experiment to completion.
@@ -174,6 +209,12 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     sim.add_service(NetworkFabric::new(calibration::hydra_fabric(), total_nodes));
     sim.add_service(RttCollector::new());
     sim.add_service(VmstatLog::new());
+    if spec.trace {
+        sim.add_service(TraceCollector::new());
+        // Counters sampled on the same cadence as the vmstat sampler so
+        // the unified resource log interleaves 1:1.
+        sim.add_actor(TraceSampler::new(SimDuration::from_secs(1)));
+    }
 
     // Server processes.
     let server_procs: Vec<ProcessId> = server_nodes
@@ -306,9 +347,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             let reg_ep = Endpoint::new(server_nodes[0], reg);
             // Producer/Consumer servlets.
             let (prod_hosts, cons_hosts): (Vec<usize>, Vec<usize>) = match spec.system {
-                SystemUnderTest::RgmaSingle | SystemUnderTest::RgmaSecondary => {
-                    (vec![0], vec![0])
-                }
+                SystemUnderTest::RgmaSingle | SystemUnderTest::RgmaSecondary => (vec![0], vec![0]),
                 SystemUnderTest::RgmaDistributed => (vec![0, 1], vec![2, 3]),
                 _ => unreachable!(),
             };
@@ -403,7 +442,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     };
     let max_fleet = per_fleet.iter().copied().max().unwrap_or(0) as u64;
     let ramp = creation_interval.saturating_mul(max_fleet);
-    let publishing = spec.publish_interval.saturating_mul(u64::from(spec.msgs_per_generator));
+    let publishing = spec
+        .publish_interval
+        .saturating_mul(u64::from(spec.msgs_per_generator));
     let drain = if spec.system == SystemUnderTest::RgmaSecondary {
         SimDuration::from_secs(120)
     } else if spec.system.is_rgma() {
@@ -445,6 +486,46 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let published = fleet_stats.iter().map(|s| s.borrow().published).sum();
     let broker_forwards = broker_stats.iter().map(|s| s.borrow().forwarded).sum();
 
+    let trace = sim.service::<TraceCollector>().map(|tr| {
+        let rtt = sim.service::<RttCollector>().expect("collector registered");
+        let trace_summary = TraceSummary::from_collector(tr);
+        // Cross-check: every probe the RttCollector saw must decompose to
+        // the exact same four instants in the trace. Any disagreement is
+        // an instrumentation bug in one of the two independent paths.
+        let mut disagreements = Vec::new();
+        for sent in 0..summary.sent {
+            let id = ProbeId(sent);
+            let Some(i) = rtt.instants(id) else { continue };
+            if let Some(err) = trace_summary.check_probe(
+                TraceId(id.0),
+                i.before_sending,
+                i.after_sending,
+                i.before_receiving,
+                i.after_receiving,
+            ) {
+                disagreements.push(err);
+            }
+        }
+        // Unified resource log: vmstat rows ride along with the counter
+        // samples in the JSONL export.
+        let resources: Vec<simtrace::export::ResourceRow> = vm
+            .samples()
+            .iter()
+            .map(|s| simtrace::export::ResourceRow {
+                at: s.at,
+                node: u64::from(s.node.0),
+                idle: s.idle,
+                mem_bytes: s.mem_bytes,
+            })
+            .collect();
+        TraceArtifacts {
+            jsonl: simtrace::export::jsonl(tr, &resources),
+            chrome: simtrace::export::chrome_trace(tr),
+            summary: trace_summary,
+            disagreements,
+        }
+    });
+
     ExperimentResult {
         name: spec.name.clone(),
         generators: spec.generators,
@@ -457,6 +538,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         broker_forwards,
         sim_time: sim.now(),
         events: sim.stats().events_processed,
+        trace,
     }
 }
 
@@ -464,9 +546,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
 fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
     let base = total / parts;
     let extra = total % parts;
-    (0..parts)
-        .map(|i| base + usize::from(i < extra))
-        .collect()
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
 }
 
 #[cfg(test)]
@@ -492,12 +572,8 @@ mod tests {
 
     #[test]
     fn small_narada_experiment_runs_end_to_end() {
-        let spec = ExperimentSpec::paper_default(
-            "smoke/narada",
-            SystemUnderTest::NaradaSingle,
-            20,
-        )
-        .scaled(5);
+        let spec = ExperimentSpec::paper_default("smoke/narada", SystemUnderTest::NaradaSingle, 20)
+            .scaled(5);
         let r = run_experiment(&spec);
         assert_eq!(r.summary.sent, 100);
         assert_eq!(r.summary.received, 100);
@@ -525,12 +601,8 @@ mod tests {
 
     #[test]
     fn identical_seeds_identical_results() {
-        let spec = ExperimentSpec::paper_default(
-            "det/narada",
-            SystemUnderTest::NaradaSingle,
-            10,
-        )
-        .scaled(3);
+        let spec = ExperimentSpec::paper_default("det/narada", SystemUnderTest::NaradaSingle, 10)
+            .scaled(3);
         let a = run_experiment(&spec);
         let b = run_experiment(&spec);
         assert_eq!(a.summary.rtt_mean_ms, b.summary.rtt_mean_ms);

@@ -17,5 +17,7 @@ pub mod experiment;
 pub mod scenarios;
 pub mod sweep;
 
-pub use experiment::{run_experiment, ExperimentResult, ExperimentSpec, SystemUnderTest};
+pub use experiment::{
+    run_experiment, ExperimentResult, ExperimentSpec, SystemUnderTest, TraceArtifacts,
+};
 pub use sweep::run_all;

@@ -1,12 +1,14 @@
 //! Parallel experiment execution.
 //!
 //! Each experiment is a self-contained deterministic simulation, so a
-//! sweep is embarrassingly parallel: a crossbeam-channel work queue
-//! feeding one worker per core. (This is the project's parallel surface —
-//! within one simulation the event loop is inherently sequential.)
+//! sweep is embarrassingly parallel: a shared work counter feeding one
+//! worker per core, with results sent back over an mpsc channel. (This
+//! is the project's parallel surface — within one simulation the event
+//! loop is inherently sequential.)
 
 use crate::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
-use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Run all specs, using up to `threads` workers (0 = one per core).
 /// Results come back in the input order.
@@ -20,23 +22,19 @@ pub fn run_all(specs: &[ExperimentSpec], threads: usize) -> Vec<ExperimentResult
     }
     .min(specs.len().max(1));
 
-    let (task_tx, task_rx) = channel::unbounded::<(usize, ExperimentSpec)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, ExperimentResult)>();
-    for (ix, spec) in specs.iter().enumerate() {
-        task_tx.send((ix, spec.clone())).expect("queue open");
-    }
-    drop(task_tx);
+    let next = AtomicUsize::new(0);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, ExperimentResult)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let task_rx = task_rx.clone();
+            let next = &next;
             let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                while let Ok((ix, spec)) = task_rx.recv() {
-                    let result = run_experiment(&spec);
-                    if result_tx.send((ix, result)).is_err() {
-                        return;
-                    }
+            scope.spawn(move || loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(ix) else { return };
+                let result = run_experiment(spec);
+                if result_tx.send((ix, result)).is_err() {
+                    return;
                 }
             });
         }
@@ -81,12 +79,8 @@ mod tests {
 
     #[test]
     fn single_thread_works() {
-        let specs = vec![ExperimentSpec::paper_default(
-            "one",
-            SystemUnderTest::NaradaSingle,
-            3,
-        )
-        .scaled(2)];
+        let specs =
+            vec![ExperimentSpec::paper_default("one", SystemUnderTest::NaradaSingle, 3).scaled(2)];
         let r = run_all(&specs, 1);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].summary.sent, 6);

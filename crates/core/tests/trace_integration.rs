@@ -1,0 +1,122 @@
+//! End-to-end tests for the `simtrace` lifecycle-tracing subsystem:
+//! cross-checking the trace against `RttCollector`, verifying the RTT
+//! decomposition telescopes exactly, and pinning down determinism
+//! (same-seed runs must export byte-identical traces).
+
+use gridmon_core::{run_experiment, ExperimentSpec, SystemUnderTest};
+use simtrace::TraceId;
+use telemetry::ProbeId;
+
+fn traced_spec(name: &str, system: SystemUnderTest, generators: usize) -> ExperimentSpec {
+    ExperimentSpec::paper_default(name, system, generators)
+        .scaled(4)
+        .traced()
+}
+
+#[test]
+fn untraced_run_produces_no_trace() {
+    let spec =
+        ExperimentSpec::paper_default("untraced", SystemUnderTest::NaradaSingle, 4).scaled(2);
+    let r = run_experiment(&spec);
+    assert!(r.trace.is_none(), "tracing must be off by default");
+}
+
+#[test]
+fn traced_narada_run_cross_checks_clean() {
+    let r = run_experiment(&traced_spec("tr-narada", SystemUnderTest::NaradaSingle, 6));
+    let trace = r.trace.expect("traced spec yields artifacts");
+    assert!(
+        trace.disagreements.is_empty(),
+        "trace vs RttCollector disagreements: {:?}",
+        trace.disagreements
+    );
+    assert!(trace.summary.total_events > 0);
+    assert!(!trace.summary.probes.is_empty());
+    assert!(!trace.jsonl.is_empty());
+    assert!(trace.chrome.starts_with('{'));
+}
+
+#[test]
+fn traced_rgma_run_cross_checks_clean() {
+    let r = run_experiment(&traced_spec("tr-rgma", SystemUnderTest::RgmaSingle, 6));
+    let trace = r.trace.expect("traced spec yields artifacts");
+    assert!(
+        trace.disagreements.is_empty(),
+        "trace vs RttCollector disagreements: {:?}",
+        trace.disagreements
+    );
+    assert!(!trace.summary.probes.is_empty());
+}
+
+#[test]
+fn trace_rtt_decomposition_telescopes_per_probe() {
+    // For every completed probe the reconstructed phases must satisfy
+    // RTT = PRT + PT + SRT *exactly* — these are integer microsecond
+    // instants, not floats, so there is no tolerance.
+    for system in [SystemUnderTest::NaradaSingle, SystemUnderTest::RgmaSingle] {
+        let r = run_experiment(&traced_spec("tr-decomp", system, 4));
+        let trace = r.trace.expect("traced");
+        let mut complete = 0;
+        for (id, probe) in &trace.summary.probes {
+            if !probe.complete() {
+                continue;
+            }
+            complete += 1;
+            let (prt, pt, srt, rtt) = (
+                probe.prt().unwrap(),
+                probe.pt().unwrap(),
+                probe.srt().unwrap(),
+                probe.rtt().unwrap(),
+            );
+            assert_eq!(
+                prt + pt + srt,
+                rtt,
+                "probe {id:?}: {prt} + {pt} + {srt} != {rtt}"
+            );
+        }
+        assert!(complete > 0, "at least one probe completes end to end");
+    }
+}
+
+#[test]
+fn trace_covers_every_delivered_probe() {
+    let r = run_experiment(&traced_spec(
+        "tr-coverage",
+        SystemUnderTest::NaradaSingle,
+        4,
+    ));
+    let trace = r.trace.expect("traced");
+    assert_eq!(trace.summary.evicted_events, 0, "ring must not wrap here");
+    // Every probe the telemetry says was sent must appear in the trace
+    // with a publish-begin instant.
+    for sent in 0..r.summary.sent {
+        let probe = trace
+            .summary
+            .probes
+            .get(&TraceId(ProbeId(sent).0))
+            .unwrap_or_else(|| panic!("probe {sent} missing from trace"));
+        assert!(probe.publish_begin.is_some(), "probe {sent} lacks begin");
+    }
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let spec = traced_spec("tr-det", SystemUnderTest::NaradaSingle, 6);
+    let a = run_experiment(&spec).trace.expect("traced");
+    let b = run_experiment(&spec).trace.expect("traced");
+    assert_eq!(a.jsonl, b.jsonl, "JSONL export must be deterministic");
+    assert_eq!(a.chrome, b.chrome, "Chrome export must be deterministic");
+}
+
+#[test]
+fn different_seed_traces_differ() {
+    let spec = traced_spec("tr-seeds", SystemUnderTest::NaradaSingle, 6);
+    let mut other = spec.clone();
+    other.seed += 1;
+    let a = run_experiment(&spec).trace.expect("traced");
+    let b = run_experiment(&other).trace.expect("traced");
+    assert_ne!(
+        a.jsonl, b.jsonl,
+        "different seeds must perturb event timing"
+    );
+}

@@ -18,7 +18,11 @@ fn pct(v: f64) -> String {
 pub fn table1() -> Table {
     let mut t = Table::new(
         "TABLE I — hardware specifications and software versions (simulated testbed)",
-        &["CPU and memory", "OS and JVM (modelled)", "Middleware (reproduced)"],
+        &[
+            "CPU and memory",
+            "OS and JVM (modelled)",
+            "Middleware (reproduced)",
+        ],
     );
     t.push_row(vec![
         "PentiumIII 866MHz (single core), 2GB".into(),
@@ -108,7 +112,13 @@ pub fn fig4(campaign: &mut Campaign, msgs: u32) -> Figure {
         "millisecond",
     );
     // The paper plots NIO, TCP, UDP, Triple, 80 (UDP CLI omitted).
-    for &(label, ix) in &[("NIO", 2usize), ("TCP", 3), ("UDP", 0), ("Triple", 4), ("80", 5)] {
+    for &(label, ix) in &[
+        ("NIO", 2usize),
+        ("TCP", 3),
+        ("UDP", 0),
+        ("Triple", 4),
+        ("80", 5),
+    ] {
         let pts = results[ix]
             .summary
             .percentiles_ms
@@ -149,7 +159,10 @@ pub fn fig5() -> Table {
     t
 }
 
-fn narada_scalability(campaign: &mut Campaign, msgs: u32) -> (Vec<ExperimentResult>, Vec<ExperimentResult>) {
+fn narada_scalability(
+    campaign: &mut Campaign,
+    msgs: u32,
+) -> (Vec<ExperimentResult>, Vec<ExperimentResult>) {
     let single = campaign.ensure(&scenarios::narada_single_specs(msgs));
     let dbn = campaign.ensure(&scenarios::narada_dbn_specs(msgs));
     (single, dbn)
@@ -298,7 +311,10 @@ pub fn fig10(campaign: &mut Campaign, msgs: u32) -> Figure {
     f
 }
 
-fn rgma_scalability(campaign: &mut Campaign, msgs: u32) -> (Vec<ExperimentResult>, Vec<ExperimentResult>) {
+fn rgma_scalability(
+    campaign: &mut Campaign,
+    msgs: u32,
+) -> (Vec<ExperimentResult>, Vec<ExperimentResult>) {
     let single = campaign.ensure(&scenarios::rgma_single_specs(msgs));
     let dist = campaign.ensure(&scenarios::rgma_distributed_specs(msgs));
     (single, dist)
@@ -471,7 +487,10 @@ pub fn table3(campaign: &mut Campaign, msgs: u32) -> Table {
         "Poor"
     };
     let rgma_scal = if rdist.iter().all(|r| r.refused == 0)
-        && rdist.last().map(|r| r.summary.rtt_mean_ms).unwrap_or(f64::MAX)
+        && rdist
+            .last()
+            .map(|r| r.summary.rtt_mean_ms)
+            .unwrap_or(f64::MAX)
             < rgma_rtt
     {
         "Very good"
@@ -499,10 +518,7 @@ pub fn table3(campaign: &mut Campaign, msgs: u32) -> Table {
     t.push_row(vec![
         "Narada".into(),
         grade_rtt(narada_rtt).into(),
-        format!(
-            "Very good ({} ms at 3000 connections)",
-            ms(narada_rtt)
-        ),
+        format!("Very good ({} ms at 3000 connections)", ms(narada_rtt)),
         narada_scal.into(),
     ]);
     t
@@ -523,7 +539,10 @@ pub fn rgma_warmup(campaign: &mut Campaign, msgs: u32) -> Table {
         r.summary.received.to_string(),
         pct(r.summary.loss_rate),
     ]);
-    let r400 = warm.iter().find(|r| r.generators == 400).expect("400 in series");
+    let r400 = warm
+        .iter()
+        .find(|r| r.generators == 400)
+        .expect("400 in series");
     t.push_row(vec![
         "wait 10-20s before publishing".into(),
         r400.summary.sent.to_string(),
@@ -538,7 +557,12 @@ pub fn ablation_routing(campaign: &mut Campaign, msgs: u32) -> Table {
     let results = campaign.ensure(&scenarios::dbn_routing_ablation(msgs, 2000));
     let mut t = Table::new(
         "Ablation — DBN forwarding: v1.1.3 broadcast flood vs subscription-aware routing",
-        &["mode", "RTT (ms)", "inter-broker messages", "broker CPU idle"],
+        &[
+            "mode",
+            "RTT (ms)",
+            "inter-broker messages",
+            "broker CPU idle",
+        ],
     );
     for r in &results {
         t.push_row(vec![
@@ -564,7 +588,11 @@ pub fn ablation_secondary(campaign: &mut Campaign, msgs: u32) -> Table {
     );
     for r in &results {
         t.push_row(vec![
-            if r.name.contains("30s") { "30 s (gLite 3.0)".into() } else { "0.5 s".into() },
+            if r.name.contains("30s") {
+                "30 s (gLite 3.0)".into()
+            } else {
+                "0.5 s".into()
+            },
             ms(r.summary.rtt_mean_ms),
             ms(r.summary.percentiles_ms.last().map(|p| p.1).unwrap_or(0.0)),
         ]);
@@ -655,8 +683,8 @@ pub fn headline_checks(campaign: &mut Campaign, msgs: u32) -> Vec<(String, Strin
         pct(within),
         within > 0.99,
     ));
-    let growth = nsingle.last().unwrap().summary.rtt_mean_ms
-        / nsingle.first().unwrap().summary.rtt_mean_ms;
+    let growth =
+        nsingle.last().unwrap().summary.rtt_mean_ms / nsingle.first().unwrap().summary.rtt_mean_ms;
     checks.push((
         "smooth RTT increase with connections (fig 7)".into(),
         "~5x from 500→3000".into(),

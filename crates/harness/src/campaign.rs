@@ -7,6 +7,7 @@ use std::collections::HashMap;
 /// share runs (fig 3 / fig 4; figs 6–9) pay for them once.
 pub struct Campaign {
     threads: usize,
+    trace: bool,
     results: HashMap<String, ExperimentResult>,
     /// Wall-clock seconds spent running experiments.
     pub wall_seconds: f64,
@@ -17,9 +18,16 @@ impl Campaign {
     pub fn new(threads: usize) -> Self {
         Campaign {
             threads,
+            trace: false,
             results: HashMap::new(),
             wall_seconds: 0.0,
         }
+    }
+
+    /// Enable `simtrace` lifecycle tracing on every spec this campaign
+    /// runs from now on (`--trace`).
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
     }
 
     /// Ensure every spec has been run; returns results in spec order.
@@ -28,6 +36,10 @@ impl Campaign {
             .iter()
             .filter(|s| !self.results.contains_key(&s.name))
             .cloned()
+            .map(|mut s| {
+                s.trace |= self.trace;
+                s
+            })
             .collect();
         if !missing.is_empty() {
             let t0 = std::time::Instant::now();
@@ -45,6 +57,34 @@ impl Campaign {
     /// Number of distinct experiments run so far.
     pub fn runs(&self) -> usize {
         self.results.len()
+    }
+
+    /// Write the trace artifacts of every traced run under `dir`:
+    /// `<name>.trace.jsonl` (events + unified resource log) and
+    /// `<name>.trace.json` (Chrome `trace_event`, Perfetto-loadable).
+    /// Returns `(files written, cross-check disagreements)`.
+    pub fn write_traces(&self, dir: &std::path::Path) -> std::io::Result<(usize, usize)> {
+        let mut files = 0;
+        let mut disagreements = 0;
+        let mut names: Vec<&String> = self.results.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let r = &self.results[name];
+            let Some(trace) = &r.trace else { continue };
+            std::fs::create_dir_all(dir)?;
+            let stem: String = name
+                .chars()
+                .map(|c| if c == '/' || c == ' ' { '_' } else { c })
+                .collect();
+            std::fs::write(dir.join(format!("{stem}.trace.jsonl")), &trace.jsonl)?;
+            std::fs::write(dir.join(format!("{stem}.trace.json")), &trace.chrome)?;
+            files += 2;
+            for d in &trace.disagreements {
+                eprintln!("trace cross-check [{name}]: {d}");
+            }
+            disagreements += trace.disagreements.len();
+        }
+        Ok((files, disagreements))
     }
 }
 

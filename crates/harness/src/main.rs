@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale N] [--threads N] [--out DIR] <artifact>...
+//! repro [--scale N] [--threads N] [--out DIR] [--trace[=DIR]] <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 rgma-warmup
@@ -11,6 +11,9 @@
 //! --scale N    messages per generator (default 180 = the paper's 30 min)
 //! --threads N  worker threads (default: all cores)
 //! --out DIR    also write CSV files under DIR (default: results/)
+//! --trace[=DIR] record per-message lifecycle traces for every run and
+//!              write `<run>.trace.jsonl` + `<run>.trace.json` (Chrome
+//!              trace_event) under DIR (default: results/trace/)
 //! ```
 
 use harness::{artifacts, Campaign};
@@ -20,6 +23,7 @@ struct Options {
     scale: u32,
     threads: usize,
     out: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
     artifacts: Vec<String>,
 }
 
@@ -27,9 +31,21 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = 180u32;
     let mut threads = 0usize;
     let mut out = Some(std::path::PathBuf::from("results"));
+    let mut trace = None;
     let mut artifacts = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace = Some(std::path::PathBuf::from("results/trace"));
+            continue;
+        }
+        if let Some(dir) = a.strip_prefix("--trace=") {
+            if dir.is_empty() {
+                return Err("--trace= needs a directory (or use bare --trace)".into());
+            }
+            trace = Some(std::path::PathBuf::from(dir));
+            continue;
+        }
         match a.as_str() {
             "--scale" => {
                 scale = args
@@ -67,14 +83,34 @@ fn parse_args() -> Result<Options, String> {
         scale,
         threads,
         out,
+        trace,
         artifacts,
     })
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "table3", "rgma-warmup", "ablation-routing",
-    "ablation-secondary", "ablation-poll", "ablation-aggregation", "checks",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table3",
+    "rgma-warmup",
+    "ablation-routing",
+    "ablation-secondary",
+    "ablation-poll",
+    "ablation-aggregation",
+    "checks",
 ];
 
 fn write_csv(out: &Option<std::path::PathBuf>, name: &str, csv: &str) {
@@ -103,7 +139,8 @@ fn main() {
     if opts.artifacts.iter().any(|a| a == "help") {
         eprintln!(
             "repro — regenerate the IPPS 2007 pub/sub study artifacts\n\n\
-             usage: repro [--scale N] [--threads N] [--out DIR | --no-csv] <artifact>...\n\n\
+             usage: repro [--scale N] [--threads N] [--out DIR | --no-csv] \
+             [--trace[=DIR]] <artifact>...\n\n\
              artifacts: {} all",
             ALL.join(" ")
         );
@@ -116,6 +153,7 @@ fn main() {
     };
 
     let mut campaign = Campaign::new(opts.threads);
+    campaign.set_trace(opts.trace.is_some());
     let scale = opts.scale;
     let t0 = std::time::Instant::now();
     for name in &names {
@@ -205,6 +243,21 @@ fn main() {
                 eprintln!("unknown artifact {other:?} (see --help)");
                 std::process::exit(2);
             }
+        }
+    }
+    if let Some(dir) = &opts.trace {
+        match campaign.write_traces(dir) {
+            Ok((files, disagreements)) => {
+                eprintln!("{files} trace files written under {}", dir.display());
+                if disagreements > 0 {
+                    eprintln!(
+                        "WARNING: {disagreements} trace/RttCollector cross-check \
+                         disagreements — the trace and the telemetry disagree \
+                         about when messages moved; this indicates a bug"
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cannot write traces: {e}"),
         }
     }
     eprintln!(

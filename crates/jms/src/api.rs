@@ -146,11 +146,8 @@ mod tests {
     #[test]
     fn selector_compile_and_match() {
         let s = Selector::compile("id < 10000").unwrap();
-        let m = Message::text(
-            Headers::new(MessageId(1), "power", SimTime::ZERO),
-            "x",
-        )
-        .with_property("id", 5i32);
+        let m = Message::text(Headers::new(MessageId(1), "power", SimTime::ZERO), "x")
+            .with_property("id", 5i32);
         assert!(s.matches(&m));
         assert_eq!(s.text(), "id < 10000");
         assert!(s.eval_cost() > SimDuration::ZERO);
@@ -178,10 +175,7 @@ mod tests {
 
     #[test]
     fn subscription_defaults() {
-        let sub = SubscriptionDesc::new(
-            Destination::Topic("power".into()),
-            Selector::match_all(),
-        );
+        let sub = SubscriptionDesc::new(Destination::Topic("power".into()), Selector::match_all());
         assert!(!sub.durable);
         assert!(!sub.no_local);
     }

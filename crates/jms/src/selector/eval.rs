@@ -301,10 +301,7 @@ mod tests {
 
     #[test]
     fn numeric_cross_type() {
-        assert_eq!(
-            check("x = 2.5", &[("x", Value::Float(2.5))]),
-            Some(true)
-        );
+        assert_eq!(check("x = 2.5", &[("x", Value::Float(2.5))]), Some(true));
         assert_eq!(check("x > 1", &[("x", Value::Long(2))]), Some(true));
     }
 
@@ -314,10 +311,7 @@ mod tests {
             check("power / 2 + 10 >= 60", &[("power", Value::Int(100))]),
             Some(true)
         );
-        assert_eq!(
-            check("-x = 0 - 5", &[("x", Value::Int(5))]),
-            Some(true)
-        );
+        assert_eq!(check("-x = 0 - 5", &[("x", Value::Int(5))]), Some(true));
     }
 
     #[test]
@@ -338,10 +332,7 @@ mod tests {
             Some(true)
         );
         // FALSE OR UNKNOWN = UNKNOWN.
-        assert_eq!(
-            check("x = 1 OR missing = 2", &[("x", Value::Int(0))]),
-            None
-        );
+        assert_eq!(check("x = 1 OR missing = 2", &[("x", Value::Int(0))]), None);
         // NOT UNKNOWN = UNKNOWN.
         assert_eq!(check("NOT missing = 2", &[]), None);
     }
@@ -357,10 +348,7 @@ mod tests {
             Some(true)
         );
         // Ordering comparisons on strings are UNKNOWN in JMS.
-        assert_eq!(
-            check("s < 'b'", &[("s", Value::Str("a".into()))]),
-            None
-        );
+        assert_eq!(check("s < 'b'", &[("s", Value::Str("a".into()))]), None);
         // Mixed string/number is UNKNOWN.
         assert_eq!(check("s = 5", &[("s", Value::Str("5".into()))]), None);
     }
@@ -395,7 +383,10 @@ mod tests {
         // Escaped underscore is literal.
         assert_eq!(check("name LIKE 'gen!_042' ESCAPE '!'", e), Some(true));
         assert_eq!(
-            check("name LIKE 'gen!_%' ESCAPE '!'", &[("name", Value::Str("genX042".into()))]),
+            check(
+                "name LIKE 'gen!_%' ESCAPE '!'",
+                &[("name", Value::Str("genX042".into()))]
+            ),
             Some(false)
         );
     }
@@ -410,14 +401,20 @@ mod tests {
     #[test]
     fn boolean_properties() {
         assert_eq!(check("on = TRUE", &[("on", Value::Bool(true))]), Some(true));
-        assert_eq!(check("on <> FALSE", &[("on", Value::Bool(true))]), Some(true));
+        assert_eq!(
+            check("on <> FALSE", &[("on", Value::Bool(true))]),
+            Some(true)
+        );
         assert_eq!(check("on > FALSE", &[("on", Value::Bool(true))]), None);
     }
 
     #[test]
     fn char_values_behave_as_strings() {
         assert_eq!(
-            check("site = 'hydra'", &[("site", Value::fixed_char("hydra", 20))]),
+            check(
+                "site = 'hydra'",
+                &[("site", Value::fixed_char("hydra", 20))]
+            ),
             Some(true)
         );
     }

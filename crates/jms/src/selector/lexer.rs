@@ -353,10 +353,10 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(
-            lex("42 3.14 1e3 2.5E-2 .5").unwrap(),
+            lex("42 3.75 1e3 2.5E-2 .5").unwrap(),
             vec![
                 Token::Int(42),
-                Token::Float(3.14),
+                Token::Float(3.75),
                 Token::Float(1000.0),
                 Token::Float(0.025),
                 Token::Float(0.5),
@@ -397,10 +397,7 @@ mod tests {
 
     #[test]
     fn unicode_in_strings() {
-        assert_eq!(
-            lex("'héllo'").unwrap(),
-            vec![Token::Str("héllo".into())]
-        );
+        assert_eq!(lex("'héllo'").unwrap(), vec![Token::Str("héllo".into())]);
     }
 
     #[test]

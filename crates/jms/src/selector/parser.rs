@@ -206,11 +206,7 @@ impl Parser {
                 let escape = if self.eat(&Token::Escape) {
                     match self.next() {
                         Some(Token::Str(s)) if s.chars().count() == 1 => s.chars().next(),
-                        _ => {
-                            return Err(
-                                self.unexpected("single-character string after ESCAPE")
-                            )
-                        }
+                        _ => return Err(self.unexpected("single-character string after ESCAPE")),
                     }
                 } else {
                     None
@@ -365,10 +361,7 @@ mod tests {
 
     #[test]
     fn between_and_not_between() {
-        assert_eq!(
-            format!("{}", p("x BETWEEN 1 AND 5")),
-            "(x BETWEEN 1 AND 5)"
-        );
+        assert_eq!(format!("{}", p("x BETWEEN 1 AND 5")), "(x BETWEEN 1 AND 5)");
         assert_eq!(
             format!("{}", p("x NOT BETWEEN 1 AND 5")),
             "(x NOT BETWEEN 1 AND 5)"
@@ -393,7 +386,10 @@ mod tests {
             format!("{}", p("name LIKE 'gen!_%' ESCAPE '!'")),
             "(name LIKE 'gen!_%' ESCAPE '!')"
         );
-        assert_eq!(format!("{}", p("name NOT LIKE 'x%'")), "(name NOT LIKE 'x%')");
+        assert_eq!(
+            format!("{}", p("name NOT LIKE 'x%'")),
+            "(name NOT LIKE 'x%')"
+        );
     }
 
     #[test]
@@ -419,7 +415,10 @@ mod tests {
     fn error_cases() {
         assert!(parse("x <").is_err());
         assert!(parse("x BETWEEN 1").is_err());
-        assert!(parse("x IN (1)").is_err(), "IN list must be strings per JMS");
+        assert!(
+            parse("x IN (1)").is_err(),
+            "IN list must be strings per JMS"
+        );
         assert!(parse("x LIKE 5").is_err());
         assert!(parse("x IS 5").is_err());
         assert!(parse("(x = 1").is_err());

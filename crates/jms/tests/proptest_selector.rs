@@ -23,8 +23,7 @@ fn arb_selector() -> impl Strategy<Value = String> {
         (ident, -100i64..100).prop_map(|(id, n)| format!("{id} = {n}")),
         (ident, "[a-z]{0,4}").prop_map(|(id, s)| format!("{id} = '{s}'")),
         (ident, "[a-z%_]{0,6}").prop_map(|(id, p)| format!("{id} LIKE '{p}'")),
-        (ident, -50i64..0, 0i64..50)
-            .prop_map(|(id, lo, hi)| format!("{id} BETWEEN {lo} AND {hi}")),
+        (ident, -50i64..0, 0i64..50).prop_map(|(id, lo, hi)| format!("{id} BETWEEN {lo} AND {hi}")),
         ident.prop_map(|id| format!("{id} IS NULL")),
         (ident, "[a-z]{1,3}", "[a-z]{1,3}")
             .prop_map(|(id, a, b)| format!("{id} IN ('{a}', '{b}')")),

@@ -101,7 +101,10 @@ mod tests {
         assert_eq!(eval_predicate(&pred("id <> 42"), s, &row), Some(false));
         assert_eq!(eval_predicate(&pred("power > 850"), s, &row), Some(true));
         assert_eq!(eval_predicate(&pred("power <= 850"), s, &row), Some(false));
-        assert_eq!(eval_predicate(&pred("site = 'hydra1'"), s, &row), Some(true));
+        assert_eq!(
+            eval_predicate(&pred("site = 'hydra1'"), s, &row),
+            Some(true)
+        );
         assert_eq!(eval_predicate(&pred("site < 'z'"), s, &row), Some(true));
     }
 
@@ -143,7 +146,10 @@ mod tests {
         let s = c.table("g").unwrap();
         assert!(row_matches(None, s, &row));
         assert!(row_matches(Some(&pred("id = 42")), s, &row));
-        assert!(!row_matches(Some(&pred("id = 'x'")), s, &row), "UNKNOWN rejects");
+        assert!(
+            !row_matches(Some(&pred("id = 'x'")), s, &row),
+            "UNKNOWN rejects"
+        );
     }
 
     #[test]

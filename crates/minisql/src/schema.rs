@@ -56,7 +56,10 @@ impl fmt::Display for SchemaError {
                 got,
             } => write!(f, "column {column} expects {expected}, got {got}"),
             SchemaError::TooLong { column, width, len } => {
-                write!(f, "value too long for {column} (CHAR({width})): {len} chars")
+                write!(
+                    f,
+                    "value too long for {column} (CHAR({width})): {len} chars"
+                )
             }
             SchemaError::DuplicateTable(t) => write!(f, "table {t} already exists"),
         }
@@ -222,8 +225,10 @@ impl Catalog {
         if self.tables.contains_key(table) {
             return Err(SchemaError::DuplicateTable(table.clone()));
         }
-        self.tables
-            .insert(table.clone(), TableSchema::new(table.clone(), columns.clone()));
+        self.tables.insert(
+            table.clone(),
+            TableSchema::new(table.clone(), columns.clone()),
+        );
         Ok(&self.tables[table])
     }
 
@@ -284,7 +289,11 @@ mod tests {
             .unwrap()
             .normalize_insert(
                 &[],
-                &[Value::Long(1), Value::Double(2.5), Value::Str("hydra".into())],
+                &[
+                    Value::Long(1),
+                    Value::Double(2.5),
+                    Value::Str("hydra".into()),
+                ],
             )
             .unwrap();
         assert_eq!(
@@ -365,11 +374,7 @@ mod tests {
     fn projection() {
         let c = catalog();
         let t = c.table("g").unwrap();
-        let row = vec![
-            Value::Int(1),
-            Value::Double(2.0),
-            Value::fixed_char("s", 8),
-        ];
+        let row = vec![Value::Int(1), Value::Double(2.0), Value::fixed_char("s", 8)];
         assert_eq!(t.project(&row, &[]).unwrap().len(), 3);
         let p = t.project(&row, &["power".into()]).unwrap();
         assert_eq!(p, vec![Value::Double(2.0)]);
@@ -380,7 +385,11 @@ mod tests {
     fn to_tuple_carries_table_name() {
         let c = catalog();
         let t = c.table("g").unwrap();
-        let tuple = t.to_tuple(vec![Value::Int(1), Value::Double(2.0), Value::fixed_char("s", 8)]);
+        let tuple = t.to_tuple(vec![
+            Value::Int(1),
+            Value::Double(2.0),
+            Value::fixed_char("s", 8),
+        ]);
         assert_eq!(tuple.table, "g");
         assert_eq!(tuple.values.len(), 3);
     }

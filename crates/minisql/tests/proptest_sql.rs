@@ -8,9 +8,28 @@ use wire::Value;
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,11}".prop_filter("not a keyword", |s| {
         ![
-            "create", "table", "insert", "into", "values", "select", "from", "where", "and",
-            "or", "not", "null", "true", "false", "integer", "int", "bigint", "real", "double",
-            "precision", "char", "varchar",
+            "create",
+            "table",
+            "insert",
+            "into",
+            "values",
+            "select",
+            "from",
+            "where",
+            "and",
+            "or",
+            "not",
+            "null",
+            "true",
+            "false",
+            "integer",
+            "int",
+            "bigint",
+            "real",
+            "double",
+            "precision",
+            "char",
+            "varchar",
         ]
         .contains(&s.as_str())
     })
@@ -48,7 +67,10 @@ prop_compose! {
 
 fn value_for(ty: SqlType, seed: i64) -> (String, Value) {
     match ty {
-        SqlType::Integer => (format!("{}", seed as i32), Value::Long(i64::from(seed as i32))),
+        SqlType::Integer => (
+            format!("{}", seed as i32),
+            Value::Long(i64::from(seed as i32)),
+        ),
         SqlType::Bigint => (format!("{seed}"), Value::Long(seed)),
         SqlType::Real | SqlType::Double => {
             let v = (seed % 10_000) as f64 / 4.0;
@@ -58,7 +80,7 @@ fn value_for(ty: SqlType, seed: i64) -> (String, Value) {
             let s: String = "abcdefgh"
                 .chars()
                 .cycle()
-                .take((seed.unsigned_abs() as usize % w as usize).max(1).min(8))
+                .take((seed.unsigned_abs() as usize % w as usize).clamp(1, 8))
                 .collect();
             (format!("'{s}'"), Value::Str(s))
         }

@@ -125,9 +125,7 @@ impl Broker {
     }
 
     fn per_byte(&self, bytes: usize) -> SimDuration {
-        SimDuration::from_micros(
-            (bytes as u64 * self.cfg.costs.broker_per_byte_ns).div_ceil(1000),
-        )
+        SimDuration::from_micros((bytes as u64 * self.cfg.costs.broker_per_byte_ns).div_ceil(1000))
     }
 
     fn send_to_client(
@@ -146,14 +144,15 @@ impl Broker {
 
     fn on_connect(&mut self, ctx: &mut Context<'_>, conn: ConnId, transport: Transport) {
         let accept_result = ctx.with_service::<OsModel, _>(|os, _| {
-            os.spawn_thread(self.proc)
-                .and_then(|()| match os.alloc(self.proc, self.cfg.memory.heap_per_conn) {
+            os.spawn_thread(self.proc).and_then(|()| {
+                match os.alloc(self.proc, self.cfg.memory.heap_per_conn) {
                     Ok(()) => Ok(()),
                     Err(e) => {
                         os.kill_thread(self.proc);
                         Err(e)
                     }
-                })
+                }
+            })
         });
         match accept_result {
             Ok(()) => {
@@ -225,7 +224,8 @@ impl Broker {
             self.engine
                 .subscribe_queue(&topic, conn, sub_id, selector, ack_mode);
         } else {
-            self.engine.subscribe(&topic, conn, sub_id, selector, ack_mode);
+            self.engine
+                .subscribe(&topic, conn, sub_id, selector, ack_mode);
         }
         let done = self.cpu(ctx, self.cfg.costs.broker_accept / 2);
         self.send_to_client(
@@ -249,8 +249,7 @@ impl Broker {
         let topics = self.engine.interested_topics();
         let my_ix = self.my_ix;
         let ep = self.endpoint;
-        let bytes =
-            CONTROL_FRAME_BYTES + topics.iter().map(|t| t.len() + 4).sum::<usize>();
+        let bytes = CONTROL_FRAME_BYTES + topics.iter().map(|t| t.len() + 4).sum::<usize>();
         let now = ctx.now();
         for &(_, conn) in &self.peers {
             let update = BrokerToBroker::InterestUpdate {
@@ -305,6 +304,17 @@ impl Broker {
         }
         state.last_pub_seq = Some(state.last_pub_seq.map_or(seq, |l| l.max(seq)));
         self.stats.borrow_mut().published += 1;
+        let broker = u32::from(self.my_ix);
+        let actor = self.endpoint.actor.index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                Some(simtrace::TraceId(probe.0)),
+                actor,
+                simtrace::EventKind::BrokerRecv { broker },
+            );
+            tr.count(simtrace::Counter::BrokerPublishes, 1);
+        });
 
         // Processing cost: deserialize + route + match. Queue sends
         // (point-to-point) deliver to exactly one receiver and are not
@@ -323,6 +333,16 @@ impl Broker {
         }
         let done = self.cpu(ctx, cost);
 
+        // Queue matching early-exits at the first eligible receiver, so
+        // misses are only tracked for topic (fan-out) matching.
+        let matched = matches.len() as u32;
+        let missed = if queue {
+            0
+        } else {
+            (self.engine.topic_len(&topic) as u32).saturating_sub(matched)
+        };
+        self.record_selector_outcome(ctx, probe, matched, missed);
+
         self.dispatch_deliveries(ctx, probe, &message, matches, done);
 
         if queue {
@@ -336,6 +356,26 @@ impl Broker {
         self.forward_to_peers(ctx, probe, &message, &topic, done, my_ix, seq, my_ix);
     }
 
+    fn record_selector_outcome(
+        &self,
+        ctx: &mut Context<'_>,
+        probe: ProbeId,
+        matched: u32,
+        missed: u32,
+    ) {
+        let actor = self.endpoint.actor.index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                Some(simtrace::TraceId(probe.0)),
+                actor,
+                simtrace::EventKind::SelectorMatch { matched, missed },
+            );
+            tr.count(simtrace::Counter::SelectorMatches, u64::from(matched));
+            tr.count(simtrace::Counter::SelectorMisses, u64::from(missed));
+        });
+    }
+
     fn dispatch_deliveries(
         &mut self,
         ctx: &mut Context<'_>,
@@ -345,9 +385,25 @@ impl Broker {
         mut ready_at: SimTime,
     ) {
         let ep = self.endpoint;
+        let fanout = matches.len() as u32;
+        if fanout > 0 {
+            let broker = u32::from(self.my_ix);
+            let actor = self.endpoint.actor.index() as u64;
+            simtrace::with_trace(ctx, |tr, at| {
+                tr.record(
+                    at,
+                    Some(simtrace::TraceId(probe.0)),
+                    actor,
+                    simtrace::EventKind::BrokerDeliver { broker, fanout },
+                );
+                tr.count(simtrace::Counter::BrokerDeliveries, u64::from(fanout));
+            });
+        }
         for m in matches {
             // Each delivery costs serialization on the broker.
-            ready_at = self.cpu(ctx, self.cfg.costs.broker_deliver_base).max(ready_at);
+            ready_at = self
+                .cpu(ctx, self.cfg.costs.broker_deliver_base)
+                .max(ready_at);
             let bytes = deliver_bytes(message);
             let transport = self.conns.get(&m.conn).map(|c| c.transport);
             let deliver = BrokerToClient::Deliver {
@@ -364,8 +420,11 @@ impl Broker {
             // CLIENT-ack over UDP: retain for gap recovery.
             if transport == Some(Transport::Udp) {
                 let state = self.conns.get_mut(&m.conn).expect("delivery to live conn");
-                state.max_sent_seq =
-                    Some(state.max_sent_seq.map_or(m.deliver_seq, |s| s.max(m.deliver_seq)));
+                state.max_sent_seq = Some(
+                    state
+                        .max_sent_seq
+                        .map_or(m.deliver_seq, |s| s.max(m.deliver_seq)),
+                );
                 if m.ack_mode == AckMode::Client {
                     state.pending.insert(
                         m.deliver_seq,
@@ -400,6 +459,7 @@ impl Broker {
         let my_ix = self.my_ix;
         let bytes = deliver_bytes(message);
         let peers: Vec<(u16, ConnId)> = self.peers.clone();
+        let mut sent: u32 = 0;
         for (peer_ix, conn) in peers {
             // Never send back where it came from or to the origin.
             if peer_ix == from_ix || peer_ix == origin {
@@ -420,7 +480,9 @@ impl Broker {
                     continue;
                 }
             }
-            let at = self.cpu(ctx, self.cfg.costs.broker_deliver_base).max(ready_at);
+            let at = self
+                .cpu(ctx, self.cfg.costs.broker_deliver_base)
+                .max(ready_at);
             let fwd = BrokerToBroker::Forward {
                 probe,
                 message: message.clone(),
@@ -432,6 +494,23 @@ impl Broker {
                 net.send_at(ctx, conn, ep, bytes, Box::new(fwd), at);
             });
             self.stats.borrow_mut().forwarded += 1;
+            sent += 1;
+        }
+        if sent > 0 {
+            let broker = u32::from(my_ix);
+            let actor = ep.actor.index() as u64;
+            simtrace::with_trace(ctx, |tr, at| {
+                tr.record(
+                    at,
+                    Some(simtrace::TraceId(probe.0)),
+                    actor,
+                    simtrace::EventKind::BrokerForward {
+                        broker,
+                        peers: sent,
+                    },
+                );
+                tr.count(simtrace::Counter::BrokerForwards, u64::from(sent));
+            });
         }
     }
 
@@ -457,9 +536,22 @@ impl Broker {
             return;
         }
         let topic = message.headers.destination.clone();
+        let broker = u32::from(self.my_ix);
+        let actor = self.endpoint.actor.index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                Some(simtrace::TraceId(probe.0)),
+                actor,
+                simtrace::EventKind::BrokerRecv { broker },
+            );
+        });
         let (matches, match_cost) = self.engine.match_message(&topic, &message);
         let cost = self.cfg.costs.broker_publish_base + self.per_byte(wire_bytes) + match_cost;
         let done = self.cpu(ctx, cost);
+        let matched = matches.len() as u32;
+        let missed = (self.engine.topic_len(&topic) as u32).saturating_sub(matched);
+        self.record_selector_outcome(ctx, probe, matched, missed);
         self.dispatch_deliveries(ctx, probe, &message, matches, done);
         // v1.1.3 floods onward (the congestion the paper found).
         if self.cfg.dbn_broadcast {
@@ -504,9 +596,10 @@ impl Broker {
         for seq in to_retx {
             let p = state.pending.get_mut(&seq).expect("just selected");
             p.retransmitted = true;
+            let probe = p.probe;
             let deliver = BrokerToClient::Deliver {
                 sub_id: p.sub_id,
-                probe: p.probe,
+                probe,
                 deliver_seq: seq,
                 message: p.message.clone(),
                 retransmit: true,
@@ -516,6 +609,16 @@ impl Broker {
                 net.send_at(ctx, conn, ep, bytes, Box::new(deliver), done);
             });
             self.stats.borrow_mut().retransmissions += 1;
+            let actor = ep.actor.index() as u64;
+            simtrace::with_trace(ctx, |tr, at| {
+                tr.record(
+                    at,
+                    Some(simtrace::TraceId(probe.0)),
+                    actor,
+                    simtrace::EventKind::Retransmit { attempt: 1 },
+                );
+                tr.count(simtrace::Counter::Retries, 1);
+            });
         }
     }
 }
@@ -554,8 +657,7 @@ impl Actor for Broker {
             Ok(c2b) => {
                 match *c2b {
                     ClientToBroker::Connect => {
-                        let transport =
-                            ctx.service::<NetworkFabric>().transport(conn);
+                        let transport = ctx.service::<NetworkFabric>().transport(conn);
                         self.on_connect(ctx, conn, transport);
                     }
                     ClientToBroker::Disconnect => self.on_disconnect(ctx, conn),

@@ -153,7 +153,13 @@ impl NaradaClientSet {
         let me = self.my_ep(ctx);
         let conn = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
             let conn = net.open(ctx.now(), settings.transport, me, broker_ep);
-            net.send(ctx, conn, me, CONTROL_FRAME_BYTES, Box::new(ClientToBroker::Connect));
+            net.send(
+                ctx,
+                conn,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Connect),
+            );
             conn
         });
         self.conns.insert(
@@ -249,11 +255,23 @@ impl NaradaClientSet {
         &mut self,
         ctx: &mut Context<'_>,
         conn: ConnId,
-        message: Message,
+        mut message: Message,
         queue: bool,
     ) -> ProbeId {
         let now = ctx.now();
         let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        // Thread the causal trace id through the middleware (out-of-band:
+        // not part of the wire encoding, see `wire::Headers::trace`).
+        message.headers.trace = Some(simtrace::TraceId(probe.0));
+        let actor = ctx.self_id().index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                Some(simtrace::TraceId(probe.0)),
+                actor,
+                simtrace::EventKind::PublishBegin,
+            );
+        });
         let state = self.conns.get_mut(&conn).expect("unknown connection");
         assert_eq!(state.phase, ConnPhase::Ready, "publish before ConnectOk");
         let seq = state.next_pub_seq;
@@ -281,7 +299,16 @@ impl NaradaClientSet {
             );
         } else {
             // TCP family: publish() returns once the write completes.
-            ctx.service_mut::<RttCollector>().after_sending(probe, ser_done);
+            ctx.service_mut::<RttCollector>()
+                .after_sending(probe, ser_done);
+            simtrace::with_trace(ctx, |tr, _| {
+                tr.record(
+                    ser_done,
+                    Some(simtrace::TraceId(probe.0)),
+                    actor,
+                    simtrace::EventKind::PublishEnd,
+                );
+            });
         }
 
         let me = self.my_ep(ctx);
@@ -337,8 +364,19 @@ impl NaradaClientSet {
                         // publish() completes now: UDP PRT includes the
                         // network round trip plus broker ack processing.
                         let now = ctx.now();
-                        ctx.service_mut::<RttCollector>().after_sending(p.probe, now);
+                        ctx.service_mut::<RttCollector>()
+                            .after_sending(p.probe, now);
                         self.timers.remove(&p.timer);
+                        let actor = ctx.self_id().index() as u64;
+                        let probe = p.probe;
+                        simtrace::with_trace(ctx, |tr, at| {
+                            tr.record(
+                                at,
+                                Some(simtrace::TraceId(probe.0)),
+                                actor,
+                                simtrace::EventKind::PublishEnd,
+                            );
+                        });
                     }
                 }
             }
@@ -377,9 +415,17 @@ impl NaradaClientSet {
                 let ack_mode = state.settings.ack_mode;
 
                 // Listener callback: deserialize + user code.
-                ctx.service_mut::<RttCollector>().before_receiving(probe, now);
+                ctx.service_mut::<RttCollector>()
+                    .before_receiving(probe, now);
                 let done = self.cpu(ctx, self.deliver_cost(bytes));
-                ctx.service_mut::<RttCollector>().after_receiving(probe, done);
+                ctx.service_mut::<RttCollector>()
+                    .after_receiving(probe, done);
+                let actor = ctx.self_id().index() as u64;
+                simtrace::with_trace(ctx, |tr, _| {
+                    let id = Some(simtrace::TraceId(probe.0));
+                    tr.record(now, id, actor, simtrace::EventKind::Available);
+                    tr.record(done, id, actor, simtrace::EventKind::Delivered);
+                });
                 events.push(ClientEvent::MessageArrived {
                     conn,
                     sub_id,
@@ -432,6 +478,17 @@ impl NaradaClientSet {
                 let probe = p.probe;
                 let message = p.message.clone();
                 let queue = p.queue;
+                let attempt = p.retries;
+                let actor = ctx.self_id().index() as u64;
+                simtrace::with_trace(ctx, |tr, at| {
+                    tr.record(
+                        at,
+                        Some(simtrace::TraceId(probe.0)),
+                        actor,
+                        simtrace::EventKind::Retransmit { attempt },
+                    );
+                    tr.count(simtrace::Counter::Retries, 1);
+                });
                 let timer = self.arm_timer(ctx, timeout, TimerKind::PubRetry { conn, seq });
                 let state = self.conns.get_mut(&conn).expect("still here");
                 if let Some(p) = state.pending_pubs.get_mut(&seq) {

@@ -62,13 +62,16 @@ impl MatchingEngine {
         selector: Selector,
         ack_mode: AckMode,
     ) {
-        self.by_topic.entry(topic.into()).or_default().push(Subscription {
-            conn,
-            sub_id,
-            selector,
-            ack_mode,
-            next_seq: 0,
-        });
+        self.by_topic
+            .entry(topic.into())
+            .or_default()
+            .push(Subscription {
+                conn,
+                sub_id,
+                selector,
+                ack_mode,
+                next_seq: 0,
+            });
         self.subscription_count += 1;
     }
 
@@ -138,6 +141,12 @@ impl MatchingEngine {
     /// Whether any subscription exists for `topic` (interest gossip).
     pub fn has_interest(&self, topic: &str) -> bool {
         self.by_topic.get(topic).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Subscriptions registered on `topic` — every one of them has its
+    /// selector evaluated per published message.
+    pub fn topic_len(&self, topic: &str) -> usize {
+        self.by_topic.get(topic).map_or(0, |v| v.len())
     }
 
     /// Topics with at least one subscriber.
@@ -222,8 +231,7 @@ mod tests {
     use wire::{Headers, MessageId};
 
     fn msg(topic: &str, id: i32) -> Message {
-        Message::text(Headers::new(MessageId(1), topic, SimTime::ZERO), "x")
-            .with_property("id", id)
+        Message::text(Headers::new(MessageId(1), topic, SimTime::ZERO), "x").with_property("id", id)
     }
 
     fn conn(n: u32) -> ConnId {
@@ -292,7 +300,10 @@ mod tests {
         m.subscribe("t", conn(1), 0, Selector::match_all(), AckMode::Auto);
         m.subscribe("a", conn(1), 1, Selector::match_all(), AckMode::Auto);
         assert!(m.has_interest("t"));
-        assert_eq!(m.interested_topics(), vec!["a".to_string(), "t".to_string()]);
+        assert_eq!(
+            m.interested_topics(),
+            vec!["a".to_string(), "t".to_string()]
+        );
         m.drop_connection(conn(1));
         assert!(!m.has_interest("t"));
         assert!(m.is_empty());
@@ -371,11 +382,23 @@ mod tests {
     fn eval_cost_scales_with_subscriber_count() {
         let mut m = MatchingEngine::new();
         for i in 0..10 {
-            m.subscribe("t", conn(i), 0, Selector::compile("id < 5").unwrap(), AckMode::Auto);
+            m.subscribe(
+                "t",
+                conn(i),
+                0,
+                Selector::compile("id < 5").unwrap(),
+                AckMode::Auto,
+            );
         }
         let (_, cost10) = m.match_message("t", &msg("t", 1));
         let mut m1 = MatchingEngine::new();
-        m1.subscribe("t", conn(0), 0, Selector::compile("id < 5").unwrap(), AckMode::Auto);
+        m1.subscribe(
+            "t",
+            conn(0),
+            0,
+            Selector::compile("id < 5").unwrap(),
+            AckMode::Auto,
+        );
         let (_, cost1) = m1.match_message("t", &msg("t", 1));
         assert_eq!(cost10.as_micros(), 10 * cost1.as_micros());
     }

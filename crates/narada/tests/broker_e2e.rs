@@ -7,7 +7,7 @@ use narada::{
 };
 use simcore::{Actor, Context, Payload, SimDuration, SimTime, Simulation};
 use simnet::{ConnId, Delivery, Endpoint, FabricConfig, NetworkFabric, Transport};
-use simos::{Bytes, NodeId, OsModel, ProcessId, ProcessSpec, NodeSpec, VmstatLog};
+use simos::{Bytes, NodeId, NodeSpec, OsModel, ProcessId, ProcessSpec, VmstatLog};
 use std::cell::RefCell;
 use std::rc::Rc;
 use telemetry::RttCollector;
@@ -241,7 +241,8 @@ fn single_broker_run(
 
 #[test]
 fn tcp_publish_subscribe_end_to_end() {
-    let (sim, shared) = single_broker_run(ConnSettings::tcp_auto(), "id < 10000", 10, quiet_fabric());
+    let (sim, shared) =
+        single_broker_run(ConnSettings::tcp_auto(), "id < 10000", 10, quiet_fabric());
     let s = shared.borrow();
     assert_eq!(s.connected, 2);
     assert_eq!(s.arrived, 10);
@@ -403,8 +404,7 @@ fn dbn_broadcast_reaches_uninterested_brokers_routed_does_not() {
         } else {
             NaradaConfig::routed()
         };
-        let hosts: Vec<(NodeId, ProcessId)> =
-            (0..3).map(|i| (nodes[i], procs[i])).collect();
+        let hosts: Vec<(NodeId, ProcessId)> = (0..3).map(|i| (nodes[i], procs[i])).collect();
         let network = BrokerNetwork::deploy(&mut sim, &cfg, &hosts, SimDuration::from_millis(10));
         // Driver connects to broker 0 only; brokers 1 and 2 have no
         // subscribers.
@@ -421,7 +421,8 @@ fn dbn_broadcast_reaches_uninterested_brokers_routed_does_not() {
         ));
         sim.run_until(SimTime::from_secs(60));
         assert_eq!(shared.borrow().arrived, 10, "local delivery always works");
-        let waste: u64 = network.stats[1].borrow().from_peers + network.stats[2].borrow().from_peers;
+        let waste: u64 =
+            network.stats[1].borrow().from_peers + network.stats[2].borrow().from_peers;
         if expect_waste {
             assert!(
                 waste >= 20,

@@ -112,11 +112,8 @@ impl Actor for Host {
             let conn = self.pub_conn.expect("connected");
             let ids = self.scenario.pub_ids.clone();
             for (n, id) in ids.into_iter().enumerate() {
-                let m = Message::text(
-                    Headers::new(MessageId(n as u64), "t", ctx.now()),
-                    "x",
-                )
-                .with_property("id", Value::Int(id));
+                let m = Message::text(Headers::new(MessageId(n as u64), "t", ctx.now()), "x")
+                    .with_property("id", Value::Int(id));
                 let probe = set.publish(ctx, conn, m);
                 self.id_of_probe.insert(probe.0, id);
             }

@@ -81,7 +81,10 @@ impl GeneratorState {
                 // 5 float
                 (p("voltage"), Value::Float(self.voltage_v as f32)),
                 (p("frequency"), Value::Float(self.frequency_hz as f32)),
-                (p("current"), Value::Float((self.power_kw * 1000.0 / self.voltage_v) as f32)),
+                (
+                    p("current"),
+                    Value::Float((self.power_kw * 1000.0 / self.voltage_v) as f32),
+                ),
                 (p("temp_c"), Value::Float(35.5)),
                 (p("wind_ms"), Value::Float(7.25)),
                 // 2 long
@@ -98,11 +101,8 @@ impl GeneratorState {
                 (p("fw"), Value::Str("v1.1.3".into())),
             ]);
         }
-        Message::map(
-            Headers::new(MessageId(msg_id), TOPIC, now),
-            entries,
-        )
-        .with_property("id", self.id as i32)
+        Message::map(Headers::new(MessageId(msg_id), TOPIC, now), entries)
+            .with_property("id", self.id as i32)
     }
 
     /// The R-GMA test payload: an SQL INSERT with 4 integer + 8 double +
@@ -113,7 +113,7 @@ impl GeneratorState {
              power, energy, rating, voltage, frequency, current, temp, wind, \
              site, operator, model, fw) VALUES \
              ({}, {}, {}, {}, {:.3}, {:.3}, {:.3}, {:.2}, {:.3}, {:.3}, {:.1}, {:.2}, \
-             '{}', 'gridcc', 'WT-2000/E', 'glite-3.0')",
+             'site-{:04}', 'gridcc', 'WT-2000/E', 'glite-3.0')",
             self.id,
             i32::from(self.online),
             self.seq,
@@ -126,7 +126,7 @@ impl GeneratorState {
             self.power_kw * 1000.0 / self.voltage_v,
             35.5,
             7.25,
-            format!("site-{:04}", self.id % 977),
+            self.id % 977,
         )
     }
 }
@@ -216,9 +216,7 @@ mod tests {
         let row = schema.normalize_insert(&columns, &values).unwrap();
         assert_eq!(row.len(), 16);
         // 4 int + 8 double + 4 char(20), as in the paper.
-        let count = |t: wire::ValueType| {
-            row.iter().filter(|v| v.value_type() == t).count()
-        };
+        let count = |t: wire::ValueType| row.iter().filter(|v| v.value_type() == t).count();
         assert_eq!(count(wire::ValueType::Int), 4);
         assert_eq!(count(wire::ValueType::Double), 8);
         assert_eq!(count(wire::ValueType::Char), 4);

@@ -102,15 +102,15 @@ impl NaradaFleet {
 
 impl Actor for NaradaFleet {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.set = Some(NaradaClientSet::new(
-            self.cfg.narada.clone(),
-            self.cfg.node,
-        ));
+        self.set = Some(NaradaClientSet::new(self.cfg.narada.clone(), self.cfg.node));
         let mut rng = ctx.rng().derive(u64::from(self.cfg.first_id) + 1);
         for ix in 0..self.cfg.n_generators {
             self.gens
                 .push(GeneratorState::new(self.cfg.first_id + ix as u32, &mut rng));
-            ctx.timer(self.cfg.creation_interval.saturating_mul(ix as u64), CreateGen(ix));
+            ctx.timer(
+                self.cfg.creation_interval.saturating_mul(ix as u64),
+                CreateGen(ix),
+            );
         }
         self.rng = Some(rng);
     }

@@ -130,20 +130,24 @@ impl RgmaClientSet {
         let conn = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
             net.open(ctx.now(), Transport::Http, me, servlet_ep)
         });
-        self.producers.insert(
-            handle,
-            ProducerState {
-                conn,
-                server: None,
-            },
-        );
+        self.producers
+            .insert(handle, ProducerState { conn, server: None });
         let rid = self.req_id();
         self.pending.insert(rid, ReqPurpose::CreateProducer(handle));
         let body = ProducerRequest::CreateProducer {
             table: table.into(),
         };
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-            http::send_request(net, ctx, conn, me, rid, "/producer/create", 96, Box::new(body));
+            http::send_request(
+                net,
+                ctx,
+                conn,
+                me,
+                rid,
+                "/producer/create",
+                96,
+                Box::new(body),
+            );
         });
         handle
     }
@@ -159,6 +163,15 @@ impl RgmaClientSet {
     ) -> telemetry::ProbeId {
         let now = ctx.now();
         let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        let actor = ctx.self_id().index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                Some(simtrace::TraceId(probe.0)),
+                actor,
+                simtrace::EventKind::PublishBegin,
+            );
+        });
         let state = self.producers.get(&handle).expect("unknown producer");
         let server = state
             .server
@@ -220,7 +233,16 @@ impl RgmaClientSet {
             query_type,
         };
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-            http::send_request(net, ctx, conn, me, rid, "/consumer/query", 128, Box::new(body));
+            http::send_request(
+                net,
+                ctx,
+                conn,
+                me,
+                rid,
+                "/consumer/query",
+                128,
+                Box::new(body),
+            );
         });
         handle
     }
@@ -253,7 +275,16 @@ impl RgmaClientSet {
             query: query.into(),
         };
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-            http::send_request(net, ctx, conn, me, rid, "/consumer/create", 128, Box::new(body));
+            http::send_request(
+                net,
+                ctx,
+                conn,
+                me,
+                rid,
+                "/consumer/create",
+                128,
+                Box::new(body),
+            );
         });
         handle
     }
@@ -332,6 +363,15 @@ impl RgmaClientSet {
                                 // The synchronous insert() has returned.
                                 let now = ctx.now();
                                 ctx.service_mut::<RttCollector>().after_sending(probe, now);
+                                let actor = ctx.self_id().index() as u64;
+                                simtrace::with_trace(ctx, |tr, at| {
+                                    tr.record(
+                                        at,
+                                        Some(simtrace::TraceId(probe.0)),
+                                        actor,
+                                        simtrace::EventKind::PublishEnd,
+                                    );
+                                });
                             }
                         }
                         ProducerResponse::Error { reason } => {
@@ -339,9 +379,7 @@ impl RgmaClientSet {
                         }
                         _ => {}
                     },
-                    Err(_) => {
-                        events.push(RgmaEvent::InsertFailed(handle, "bad response".into()))
-                    }
+                    Err(_) => events.push(RgmaEvent::InsertFailed(handle, "bad response".into())),
                 }
             }
             ReqPurpose::CreateConsumer(handle) => match body.downcast::<ConsumerResponse>() {
@@ -359,9 +397,7 @@ impl RgmaClientSet {
                     }
                     _ => {}
                 },
-                Err(_) => {
-                    events.push(RgmaEvent::SubscriberFailed(handle, "bad response".into()))
-                }
+                Err(_) => events.push(RgmaEvent::SubscriberFailed(handle, "bad response".into())),
             },
             ReqPurpose::OneTimeQuery(handle) => match body.downcast::<ConsumerResponse>() {
                 Ok(r) => match *r {
@@ -381,23 +417,30 @@ impl RgmaClientSet {
                         let n = entries.len();
                         // Client-side processing of the poll result.
                         let node = self.node;
-                        let cost = self.cfg.costs.client_http
-                            + SimDuration::from_micros(50 * n as u64);
+                        let cost =
+                            self.cfg.costs.client_http + SimDuration::from_micros(50 * n as u64);
                         let done = ctx.with_service::<OsModel, _>(|os, ctx| {
                             os.execute(node, ctx.now(), cost)
                         });
+                        let actor = ctx.self_id().index() as u64;
                         for (probe, _tuple) in entries {
-                            ctx.service_mut::<RttCollector>().after_receiving(probe, done);
+                            ctx.service_mut::<RttCollector>()
+                                .after_receiving(probe, done);
+                            simtrace::with_trace(ctx, |tr, _| {
+                                tr.record(
+                                    done,
+                                    Some(simtrace::TraceId(probe.0)),
+                                    actor,
+                                    simtrace::EventKind::Delivered,
+                                );
+                                tr.count(simtrace::Counter::TuplesDelivered, 1);
+                            });
                         }
                         events.push(RgmaEvent::Polled(handle, n));
                     }
                 }
                 // Schedule the next poll regardless of result.
-                if self
-                    .subscribers
-                    .get(&handle)
-                    .is_some_and(|s| s.polling)
-                {
+                if self.subscribers.get(&handle).is_some_and(|s| s.polling) {
                     self.arm_poll(ctx, handle);
                 }
             }

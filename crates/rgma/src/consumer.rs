@@ -10,7 +10,9 @@ use crate::protocol::{
 };
 use minisql::{Statement, TableSchema};
 use simcore::{Actor, ActorId, Context, Payload, SimDuration, SimTime};
-use simnet::{http, ConnId, Delivery, Endpoint, HttpRequest, HttpResponse, NetworkFabric, Transport};
+use simnet::{
+    http, ConnId, Delivery, Endpoint, HttpRequest, HttpResponse, NetworkFabric, Transport,
+};
 use simos::{NodeId, OsModel, ProcessId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use telemetry::{ProbeId, RttCollector};
@@ -341,7 +343,12 @@ impl ConsumerServlet {
 
     /// Fan a one-time query out to the producer servlets the registry
     /// returned.
-    fn on_query_lookup_result(&mut self, ctx: &mut Context<'_>, qid: u64, endpoints: Vec<Endpoint>) {
+    fn on_query_lookup_result(
+        &mut self,
+        ctx: &mut Context<'_>,
+        qid: u64,
+        endpoints: Vec<Endpoint>,
+    ) {
         let me = self.endpoint;
         let Some(q) = self.queries.get(&qid) else {
             return;
@@ -372,7 +379,16 @@ impl ConsumerServlet {
                 token: qid,
             };
             ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-                http::send_request(net, ctx, conn, me, rid, "/producer/fetch", 96, Box::new(req));
+                http::send_request(
+                    net,
+                    ctx,
+                    conn,
+                    me,
+                    rid,
+                    "/producer/fetch",
+                    96,
+                    Box::new(req),
+                );
             });
         }
     }
@@ -433,7 +449,12 @@ impl ConsumerServlet {
         );
     }
 
-    fn on_lookup_result(&mut self, ctx: &mut Context<'_>, cid: ConsumerId, endpoints: Vec<Endpoint>) {
+    fn on_lookup_result(
+        &mut self,
+        ctx: &mut Context<'_>,
+        cid: ConsumerId,
+        endpoints: Vec<Endpoint>,
+    ) {
         let me = self.endpoint;
         let Some(inst) = self.instances.get_mut(&cid) else {
             return;
@@ -469,7 +490,16 @@ impl ConsumerServlet {
                 producers,
             };
             ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-                http::send_request(net, ctx, conn, me, rid, "/producer/stream", 96, Box::new(req));
+                http::send_request(
+                    net,
+                    ctx,
+                    conn,
+                    me,
+                    rid,
+                    "/producer/stream",
+                    96,
+                    Box::new(req),
+                );
             });
         }
     }
@@ -483,6 +513,8 @@ impl ConsumerServlet {
             return;
         };
         let mut accepted = 0u64;
+        let mut filtered = 0u64;
+        let actor = self.endpoint.actor.index() as u64;
         for (probe, tuple) in chunk.entries {
             // Continuous-query predicate filter at the consumer.
             let matches = match (&inst.predicate, self.schemas.get(&inst.table)) {
@@ -493,13 +525,29 @@ impl ConsumerServlet {
                 (Some(_), None) => true, // no schema replica: pass through
             };
             if !matches {
+                filtered += 1;
                 continue;
             }
             // The tuple is now *available* to the subscriber.
-            ctx.service_mut::<RttCollector>().before_receiving(probe, done);
+            ctx.service_mut::<RttCollector>()
+                .before_receiving(probe, done);
+            simtrace::with_trace(ctx, |tr, _| {
+                let id = Some(simtrace::TraceId(probe.0));
+                tr.record(
+                    done,
+                    id,
+                    actor,
+                    simtrace::EventKind::SelectMatch { consumers: 1 },
+                );
+                tr.record(done, id, actor, simtrace::EventKind::Available);
+            });
             inst.buffer.push((probe, tuple));
             accepted += 1;
         }
+        simtrace::with_trace(ctx, |tr, _| {
+            tr.count(simtrace::Counter::SelectorMatches, accepted);
+            tr.count(simtrace::Counter::SelectorMisses, filtered);
+        });
         if accepted > 0 {
             let heap = simos::Bytes(self.cfg.memory.heap_per_tuple.0 * accepted);
             let _ = ctx.with_service::<OsModel, _>(|os, _| os.alloc(self.proc, heap));

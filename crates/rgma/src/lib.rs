@@ -29,7 +29,9 @@ pub mod registry;
 pub mod secondary;
 pub mod storage;
 
-pub use client::{ProducerHandle, QueryHandle, RgmaClientSet, RgmaEvent, RgmaTimer, SubscriberHandle};
+pub use client::{
+    ProducerHandle, QueryHandle, RgmaClientSet, RgmaEvent, RgmaTimer, SubscriberHandle,
+};
 pub use config::{RgmaConfig, RgmaCostModel, RgmaMemory};
 pub use consumer::{ConsumerControl, ConsumerServlet};
 pub use producer::{ProducerControl, ProducerServlet};

@@ -15,7 +15,9 @@ use crate::protocol::{
 use crate::storage::MemoryStorage;
 use minisql::{Statement, TableSchema};
 use simcore::{Actor, ActorId, Context, Payload, SimDuration, SimTime};
-use simnet::{http, ConnId, Delivery, Endpoint, HttpRequest, HttpResponse, NetworkFabric, Transport};
+use simnet::{
+    http, ConnId, Delivery, Endpoint, HttpRequest, HttpResponse, NetworkFabric, Transport,
+};
 use simos::{NodeId, OsModel, ProcessId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use telemetry::ProbeId;
@@ -160,10 +162,7 @@ impl ProducerServlet {
             pid,
             Instance {
                 table: table.clone(),
-                storage: MemoryStorage::new(
-                    self.cfg.latest_retention,
-                    self.cfg.history_retention,
-                ),
+                storage: MemoryStorage::new(self.cfg.latest_retention, self.cfg.history_retention),
             },
         );
         let done = self.cpu(ctx, self.cfg.costs.create_instance);
@@ -179,7 +178,16 @@ impl ProducerServlet {
         let rid = self.next_req;
         self.next_req += 1;
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-            http::send_request(net, ctx, reg_conn, my_ep, rid, "/registry/register", 96, Box::new(req));
+            http::send_request(
+                net,
+                ctx,
+                reg_conn,
+                my_ep,
+                rid,
+                "/registry/register",
+                96,
+                Box::new(req),
+            );
         });
         self.respond_at(
             ctx,
@@ -206,7 +214,7 @@ impl ProducerServlet {
                 (sql.len() as u64 * self.cfg.costs.insert_per_byte_ns).div_ceil(1000),
             );
         let done = self.cpu(ctx, cost);
-        let result: Result<(), String> = (|| {
+        let result: Result<u32, String> = (|| {
             let inst = self
                 .instances
                 .get_mut(&producer)
@@ -232,13 +240,23 @@ impl ProducerServlet {
                 .map_err(|e| e.to_string())?;
             let tuple = schema.to_tuple(row);
             inst.storage.insert(tuple, probe, done);
-            Ok(())
+            Ok(inst.storage.len() as u32)
         })();
         match result {
-            Ok(()) => {
+            Ok(rows) => {
                 let heap = self.cfg.memory.heap_per_tuple;
                 let _ = ctx.with_service::<OsModel, _>(|os, _| os.alloc(self.proc, heap));
                 self.respond_at(ctx, conn, req_id, 200, 24, ProducerResponse::InsertOk, done);
+                let actor = self.endpoint.actor.index() as u64;
+                simtrace::with_trace(ctx, |tr, _| {
+                    tr.record(
+                        done,
+                        Some(simtrace::TraceId(probe.0)),
+                        actor,
+                        simtrace::EventKind::StorageInsert { rows },
+                    );
+                    tr.count(simtrace::Counter::TuplesStored, 1);
+                });
             }
             Err(reason) => {
                 self.respond_at(
@@ -340,8 +358,12 @@ impl ProducerServlet {
                     }
                 }
                 QueryType::History => {
-                    entries
-                        .extend(inst.storage.history().iter().map(|e| (e.probe, e.tuple.clone())));
+                    entries.extend(
+                        inst.storage
+                            .history()
+                            .iter()
+                            .map(|e| (e.probe, e.tuple.clone())),
+                    );
                 }
             }
         }
@@ -468,11 +490,7 @@ impl Actor for ProducerServlet {
         let Ok(req) = payload.downcast::<HttpRequest>() else {
             return;
         };
-        let HttpRequest {
-            req_id,
-            body,
-            ..
-        } = *req;
+        let HttpRequest { req_id, body, .. } = *req;
         // Thread-per-connection accept gate.
         if let Err(reason) = self.ensure_thread(ctx, conn) {
             let now = ctx.now();

@@ -208,7 +208,10 @@ pub fn chunk_bytes(chunk: &StreamChunk) -> usize {
 
 /// Approximate entity bytes for a poll result.
 pub fn poll_result_bytes(entries: &[(ProbeId, Tuple)]) -> usize {
-    24 + entries.iter().map(|(_, t)| t.wire_size() + 8).sum::<usize>()
+    24 + entries
+        .iter()
+        .map(|(_, t)| t.wire_size() + 8)
+        .sum::<usize>()
 }
 
 #[cfg(test)]
@@ -224,10 +227,7 @@ mod tests {
             entries: vec![(ProbeId(0), t.clone()), (ProbeId(1), t.clone())],
         };
         assert!(chunk_bytes(&chunk) > 2 * t.wire_size());
-        assert_eq!(
-            poll_result_bytes(&chunk.entries),
-            chunk_bytes(&chunk)
-        );
+        assert_eq!(poll_result_bytes(&chunk.entries), chunk_bytes(&chunk));
         assert_eq!(poll_result_bytes(&[]), 24);
     }
 }

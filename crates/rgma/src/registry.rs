@@ -52,7 +52,12 @@ impl RegistryActor {
         }
     }
 
-    fn handle_request(&mut self, ctx: &mut Context<'_>, delivery_conn: simnet::ConnId, req: HttpRequest) {
+    fn handle_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        delivery_conn: simnet::ConnId,
+        req: HttpRequest,
+    ) {
         let node = self.node;
         let done: SimTime = ctx.with_service::<OsModel, _>(|os, ctx| {
             os.execute(
@@ -87,14 +92,12 @@ impl RegistryActor {
                     RegistryResponse::Producers { endpoints }
                 }
                 RegistryRequest::DeclareTable { sql } => match minisql::parse(&sql) {
-                    Ok(stmt @ Statement::CreateTable { .. }) => {
-                        match self.catalog.create(&stmt) {
-                            Ok(_) => RegistryResponse::TableDeclared,
-                            Err(e) => RegistryResponse::Error {
-                                reason: e.to_string(),
-                            },
-                        }
-                    }
+                    Ok(stmt @ Statement::CreateTable { .. }) => match self.catalog.create(&stmt) {
+                        Ok(_) => RegistryResponse::TableDeclared,
+                        Err(e) => RegistryResponse::Error {
+                            reason: e.to_string(),
+                        },
+                    },
                     Ok(_) => RegistryResponse::Error {
                         reason: "not a CREATE TABLE".into(),
                     },
@@ -109,7 +112,16 @@ impl RegistryActor {
         };
         let ep = self.endpoint;
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-            http::send_response(net, ctx, delivery_conn, ep, req.req_id, 200, 96, Box::new(resp));
+            http::send_response(
+                net,
+                ctx,
+                delivery_conn,
+                ep,
+                req.req_id,
+                200,
+                96,
+                Box::new(resp),
+            );
         });
         let _ = done;
     }
@@ -236,6 +248,10 @@ mod tests {
         sim.schedule(SimDuration::from_secs(1), client, Box::new(Probe));
         sim.schedule(SimDuration::from_secs(6), client, Box::new(Probe));
         sim.run_until(SimTime::from_secs(10));
-        assert_eq!(*results.borrow(), vec![0, 1], "propagation gates visibility");
+        assert_eq!(
+            *results.borrow(),
+            vec![0, 1],
+            "propagation gates visibility"
+        );
     }
 }

@@ -15,7 +15,9 @@ use crate::protocol::{
 };
 use crate::storage::MemoryStorage;
 use simcore::{Actor, ActorId, Context, Payload, SimDuration, SimTime};
-use simnet::{http, ConnId, Delivery, Endpoint, HttpRequest, HttpResponse, NetworkFabric, Transport};
+use simnet::{
+    http, ConnId, Delivery, Endpoint, HttpRequest, HttpResponse, NetworkFabric, Transport,
+};
 use simos::{NodeId, OsModel, ProcessId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use telemetry::ProbeId;
@@ -139,14 +141,11 @@ impl SecondaryProducer {
         }
         for ((node, actor), producers) in servlets {
             let servlet_ep = Endpoint::new(node, actor);
-            let conn = *self
-                .upstream_conns
-                .entry((node, actor))
-                .or_insert_with(|| {
-                    ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-                        net.open(ctx.now(), Transport::Http, me, servlet_ep)
-                    })
-                });
+            let conn = *self.upstream_conns.entry((node, actor)).or_insert_with(|| {
+                ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                    net.open(ctx.now(), Transport::Http, me, servlet_ep)
+                })
+            });
             let rid = self.req_id();
             // We pose as consumer id u32::MAX - our port: chunk routing
             // happens by the conn, so any unique value works.
@@ -157,7 +156,16 @@ impl SecondaryProducer {
                 producers,
             };
             ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-                http::send_request(net, ctx, conn, me, rid, "/producer/stream", 96, Box::new(req));
+                http::send_request(
+                    net,
+                    ctx,
+                    conn,
+                    me,
+                    rid,
+                    "/producer/stream",
+                    96,
+                    Box::new(req),
+                );
             });
         }
     }
@@ -177,6 +185,17 @@ impl SecondaryProducer {
             for (probe, tuple) in std::mem::take(&mut self.batch) {
                 self.storage.insert(tuple, probe, done);
             }
+            let actor = self.endpoint.actor.index() as u64;
+            simtrace::with_trace(ctx, |tr, _| {
+                tr.record(
+                    done,
+                    None,
+                    actor,
+                    simtrace::EventKind::BatchFlush { tuples: n as u32 },
+                );
+                tr.count(simtrace::Counter::BatchFlushes, 1);
+                tr.gauge_set(simtrace::Gauge::BatchOccupancy, 0);
+            });
             // Stream to downstream consumers.
             let ep = self.endpoint;
             let mut sends = Vec::new();
@@ -221,7 +240,16 @@ impl Actor for SecondaryProducer {
             endpoint: Endpoint::with_port(me.node, me.actor, self.my_pid_port),
         };
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-            http::send_request(net, ctx, conn, me, rid, "/registry/register", 96, Box::new(req));
+            http::send_request(
+                net,
+                ctx,
+                conn,
+                me,
+                rid,
+                "/registry/register",
+                96,
+                Box::new(req),
+            );
         });
         ctx.timer(self.cfg.plan_refresh, PlanTick);
         ctx.timer(self.cfg.secondary_flush, FlushTick);
@@ -261,6 +289,17 @@ impl Actor for SecondaryProducer {
                 let proc = self.proc;
                 let _ = ctx.with_service::<OsModel, _>(|os, _| os.alloc(proc, heap));
                 self.batch.extend(chunk.entries);
+                let occupancy = self.batch.len() as u32;
+                let actor = self.endpoint.actor.index() as u64;
+                simtrace::with_trace(ctx, |tr, at| {
+                    tr.record(
+                        at,
+                        None,
+                        actor,
+                        simtrace::EventKind::BatchEnqueue { occupancy },
+                    );
+                    tr.gauge_set(simtrace::Gauge::BatchOccupancy, u64::from(occupancy));
+                });
                 return;
             }
             Err(p) => p,

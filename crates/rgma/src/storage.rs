@@ -52,8 +52,10 @@ impl MemoryStorage {
     /// Evict tuples older than the history retention. Returns how many
     /// were evicted.
     pub fn sweep(&mut self, now: SimTime) -> usize {
-        let cutoff_time =
-            SimTime::from_micros(now.as_micros().saturating_sub(self.history_retention.as_micros()));
+        let cutoff_time = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.history_retention.as_micros()),
+        );
         let keep_from = self
             .entries
             .iter()
@@ -99,8 +101,10 @@ impl MemoryStorage {
     /// Latest query: the most recent tuple within the latest-retention
     /// window.
     pub fn latest(&self, now: SimTime) -> Option<&StoredTuple> {
-        let cutoff =
-            SimTime::from_micros(now.as_micros().saturating_sub(self.latest_retention.as_micros()));
+        let cutoff = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.latest_retention.as_micros()),
+        );
         self.entries
             .iter()
             .rev()
@@ -190,10 +194,7 @@ mod tests {
     fn latest_respects_retention_window() {
         let mut s = storage();
         s.insert(tup(1), ProbeId(0), SimTime::from_secs(0));
-        assert_eq!(
-            s.latest(SimTime::from_secs(10)).unwrap().probe,
-            ProbeId(0)
-        );
+        assert_eq!(s.latest(SimTime::from_secs(10)).unwrap().probe, ProbeId(0));
         // At t=31 the latest-retention (30 s) window has passed.
         assert!(s.latest(SimTime::from_secs(31)).is_none());
         s.insert(tup(2), ProbeId(1), SimTime::from_secs(40));

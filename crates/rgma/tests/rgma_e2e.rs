@@ -358,7 +358,10 @@ fn server_refuses_producers_when_thread_pool_exhausted() {
         SimTime::from_secs(60),
     );
     let s = shared.borrow();
-    assert!(s.producers_failed > 0, "thread exhaustion refuses producers");
+    assert!(
+        s.producers_failed > 0,
+        "thread exhaustion refuses producers"
+    );
     assert!(s.producers_ready > 0, "the first few are accepted");
 }
 
@@ -558,7 +561,10 @@ impl Actor for QueryDriver {
                     p = 500.0 + remaining as f64
                 );
                 set.insert(ctx, h, sql);
-                ctx.timer(SimDuration::from_secs(8), QueryInsertTick(ix, remaining - 1));
+                ctx.timer(
+                    SimDuration::from_secs(8),
+                    QueryInsertTick(ix, remaining - 1),
+                );
                 return;
             }
             Err(m) => m,

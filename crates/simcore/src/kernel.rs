@@ -380,6 +380,14 @@ impl Context<'_> {
             .get::<S>()
             .unwrap_or_else(|| panic_missing::<S>())
     }
+
+    /// Mutable access to a service that may not be registered (e.g. the
+    /// optional trace collector). Returns `None` instead of panicking so
+    /// instrumentation can no-op when the service is absent.
+    #[inline]
+    pub fn try_service_mut<S: 'static>(&mut self) -> Option<&mut S> {
+        self.services.get_mut::<S>()
+    }
 }
 
 #[cold]
@@ -411,10 +419,7 @@ mod tests {
         sim.schedule(SimDuration::from_millis(1), a, Box::new(Tick(1)));
         sim.schedule(SimDuration::from_millis(9), a, Box::new(Tick(3)));
         assert_eq!(sim.run_to_completion(100), RunOutcome::QueueEmpty);
-        assert_eq!(
-            *log.borrow(),
-            vec![(1_000, 1), (5_000, 2), (9_000, 3)]
-        );
+        assert_eq!(*log.borrow(), vec![(1_000, 1), (5_000, 2), (9_000, 3)]);
         assert_eq!(sim.now(), SimTime::from_millis(9));
         assert_eq!(sim.stats().events_processed, 3);
     }
@@ -458,7 +463,10 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(4));
         assert_eq!(sim.pending_events(), 1);
         // Resume past the event.
-        assert_eq!(sim.run_until(SimTime::from_secs(20)), RunOutcome::QueueEmpty);
+        assert_eq!(
+            sim.run_until(SimTime::from_secs(20)),
+            RunOutcome::QueueEmpty
+        );
         assert_eq!(sim.now(), SimTime::from_secs(10));
     }
 

@@ -76,10 +76,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -302,10 +299,8 @@ mod tests {
     fn duration_helpers() {
         let mut rng = SimRng::new(29);
         for _ in 0..1000 {
-            let d = rng.duration_between(
-                SimDuration::from_millis(10),
-                SimDuration::from_millis(20),
-            );
+            let d =
+                rng.duration_between(SimDuration::from_millis(10), SimDuration::from_millis(20));
             assert!(d >= SimDuration::from_millis(10));
             assert!(d <= SimDuration::from_millis(20));
         }

@@ -154,13 +154,7 @@ impl NetworkFabric {
 
     /// Open a connection. TCP-family transports pay a handshake
     /// (1.5 × one-way latency); UDP sockets are ready immediately.
-    pub fn open(
-        &mut self,
-        now: SimTime,
-        transport: Transport,
-        a: Endpoint,
-        b: Endpoint,
-    ) -> ConnId {
+    pub fn open(&mut self, now: SimTime, transport: Transport, a: Endpoint, b: Endpoint) -> ConnId {
         let handshake = if transport == Transport::Udp {
             SimDuration::ZERO
         } else {
@@ -268,9 +262,32 @@ impl NetworkFabric {
         let tx_start = now.max(nic.tx_busy_until).max(ready_at);
         let tx_done = tx_start + tx_time;
         nic.tx_busy_until = tx_done;
+        let backlog_us = tx_done.saturating_since(now).as_micros();
 
         if dropped {
             self.stats.frames_dropped += 1;
+            simtrace::with_trace(ctx, |tr, at| {
+                tr.record(
+                    at,
+                    None,
+                    from.actor.index() as u64,
+                    simtrace::EventKind::NetSend {
+                        conn: u64::from(conn.0),
+                        bytes: bytes as u32,
+                    },
+                );
+                tr.record(
+                    tx_done,
+                    None,
+                    from.actor.index() as u64,
+                    simtrace::EventKind::NetDrop {
+                        conn: u64::from(conn.0),
+                    },
+                );
+                tr.count(simtrace::Counter::NetFramesSent, 1);
+                tr.count(simtrace::Counter::NetDrops, 1);
+                tr.gauge_set(simtrace::Gauge::NicBacklogUs, backlog_us);
+            });
             return None;
         }
 
@@ -286,6 +303,29 @@ impl NetworkFabric {
         c.last_delivery[dir] = deliver_at;
 
         self.stats.frames_delivered += 1;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                None,
+                from.actor.index() as u64,
+                simtrace::EventKind::NetSend {
+                    conn: u64::from(conn.0),
+                    bytes: bytes as u32,
+                },
+            );
+            // Timestamped at the scheduled arrival instant.
+            tr.record(
+                deliver_at,
+                None,
+                to.actor.index() as u64,
+                simtrace::EventKind::NetDeliver {
+                    conn: u64::from(conn.0),
+                },
+            );
+            tr.count(simtrace::Counter::NetFramesSent, 1);
+            tr.count(simtrace::Counter::NetFramesDelivered, 1);
+            tr.gauge_set(simtrace::Gauge::NicBacklogUs, backlog_us);
+        });
         let delay = deliver_at.saturating_since(ctx.now());
         ctx.send_in(
             delay,
@@ -385,7 +425,11 @@ mod tests {
         sim.schedule(SimDuration::ZERO, sender, Box::new(()));
         sim.run_to_completion(100);
         let log = log.borrow();
-        assert_eq!(log.len(), 3, "no loss at prob 0 rolls for this seed? see below");
+        assert_eq!(
+            log.len(),
+            3,
+            "no loss at prob 0 rolls for this seed? see below"
+        );
         // 7500B = 1000us tx + 6 packets * 40us = 1240us per frame, serialized:
         // deliveries at ~1340, ~2580, ~3820 (plus jitter=0).
         let times: Vec<u64> = log.iter().map(|e| e.0).collect();

@@ -114,7 +114,16 @@ mod tests {
             let req = d.payload.downcast::<HttpRequest>().unwrap();
             let me = Endpoint::new(self.node, ctx.self_id());
             ctx.with_service::<NetworkFabric, _>(|net, ctx| {
-                send_response(net, ctx, d.conn, me, req.req_id, 200, 64, Box::new(req.req_id * 2));
+                send_response(
+                    net,
+                    ctx,
+                    d.conn,
+                    me,
+                    req.req_id,
+                    200,
+                    64,
+                    Box::new(req.req_id * 2),
+                );
             });
         }
     }

@@ -90,8 +90,7 @@ impl CpuServer {
         self.busy_until = busy_done;
         self.total_work += effective;
         self.jobs += 1;
-        let extra_threads =
-            u64::from(self.threads.saturating_sub(self.baseline_threads));
+        let extra_threads = u64::from(self.threads.saturating_sub(self.baseline_threads));
         busy_done + self.sched_latency_per_thread.saturating_mul(extra_threads)
     }
 

@@ -90,7 +90,10 @@ impl GcPauser {
     }
 
     fn heap_mb(&self, ctx: &Context<'_>) -> f64 {
-        ctx.service::<OsModel>().mem(self.proc).heap_used().as_mib_f64()
+        ctx.service::<OsModel>()
+            .mem(self.proc)
+            .heap_used()
+            .as_mib_f64()
     }
 }
 
@@ -123,6 +126,18 @@ impl Actor for GcPauser {
         ctx.with_service::<OsModel, _>(|os, ctx| {
             os.execute(node, ctx.now(), pause);
         });
+        let actor = ctx.self_id().index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                None,
+                actor,
+                simtrace::EventKind::GcPause {
+                    micros: pause.as_micros().min(u64::from(u32::MAX)) as u32,
+                },
+            );
+            tr.count(simtrace::Counter::GcPauses, 1);
+        });
     }
 
     fn name(&self) -> &str {
@@ -133,8 +148,8 @@ impl Actor for GcPauser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::{NodeSpec, ProcessSpec};
     use crate::memory::Bytes;
+    use crate::node::{NodeSpec, ProcessSpec};
     use simcore::{SimTime, Simulation};
 
     fn world(cfg: GcConfig, heap_mb: u64) -> Simulation {

@@ -155,7 +155,11 @@ mod tests {
         assert!((samples[0].idle - 1.0).abs() < 1e-9);
         assert!((samples[1].idle - 1.0).abs() < 1e-9);
         // Window 2..3s contains 500 ms busy.
-        assert!((samples[2].idle - 0.5).abs() < 1e-6, "idle={}", samples[2].idle);
+        assert!(
+            (samples[2].idle - 0.5).abs() < 1e-6,
+            "idle={}",
+            samples[2].idle
+        );
         assert!((samples[3].idle - 1.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,240 @@
+//! Trace events, counters, and gauges.
+
+use simcore::SimTime;
+
+/// Causal identity of one traced message. For probe traffic this wraps
+/// the `telemetry::ProbeId` number, so trace spans and RTT records key
+/// on the same id and can be cross-checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// What happened at one instant of a message's life.
+///
+/// Lifecycle variants mirror the four `RttCollector` instants of fig 15;
+/// hop variants record where the message was in between. All payloads
+/// are plain numbers so events are `Copy` and the ring buffer never
+/// allocates per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The application called publish/INSERT (`before_sending`).
+    PublishBegin,
+    /// The synchronous send returned (`after_sending`).
+    PublishEnd,
+    /// The middleware made the message available (`before_receiving`).
+    Available,
+    /// The receiving application has the message (`after_receiving`).
+    Delivered,
+    /// A frame entered a network connection.
+    NetSend {
+        /// Connection index.
+        conn: u64,
+        /// Frame size in bytes.
+        bytes: u32,
+    },
+    /// A frame left a network connection at the receiver.
+    NetDeliver {
+        /// Connection index.
+        conn: u64,
+    },
+    /// A frame was dropped (UDP loss).
+    NetDrop {
+        /// Connection index.
+        conn: u64,
+    },
+    /// A broker accepted a publish or peer forward.
+    BrokerRecv {
+        /// Broker index within the network.
+        broker: u32,
+    },
+    /// Selector evaluation outcome across a broker's subscriptions.
+    SelectorMatch {
+        /// Subscriptions whose selector matched.
+        matched: u32,
+        /// Subscriptions evaluated but not matched.
+        missed: u32,
+    },
+    /// A broker fanned the message out to local subscribers.
+    BrokerDeliver {
+        /// Broker index.
+        broker: u32,
+        /// Local deliveries produced by this one message.
+        fanout: u32,
+    },
+    /// A broker forwarded to peer brokers (DBN flood or routed).
+    BrokerForward {
+        /// Broker index.
+        broker: u32,
+        /// Peers the message was sent to.
+        peers: u32,
+    },
+    /// A lost frame was retransmitted (UDP gap recovery).
+    Retransmit {
+        /// Retry attempt number.
+        attempt: u32,
+    },
+    /// A tuple was inserted into R-GMA producer storage.
+    StorageInsert {
+        /// Rows in the table after the insert.
+        rows: u32,
+    },
+    /// A continuous SELECT matched the tuple for delivery.
+    SelectMatch {
+        /// Consumers the tuple was streamed to.
+        consumers: u32,
+    },
+    /// The secondary producer buffered a tuple into its batch.
+    BatchEnqueue {
+        /// Tuples in the batch after the enqueue.
+        occupancy: u32,
+    },
+    /// The secondary producer flushed its batch.
+    BatchFlush {
+        /// Tuples flushed.
+        tuples: u32,
+    },
+    /// A simulated garbage-collection pause charged to a process.
+    GcPause {
+        /// Pause length in microseconds.
+        micros: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PublishBegin => "publish_begin",
+            EventKind::PublishEnd => "publish_end",
+            EventKind::Available => "available",
+            EventKind::Delivered => "delivered",
+            EventKind::NetSend { .. } => "net_send",
+            EventKind::NetDeliver { .. } => "net_deliver",
+            EventKind::NetDrop { .. } => "net_drop",
+            EventKind::BrokerRecv { .. } => "broker_recv",
+            EventKind::SelectorMatch { .. } => "selector_match",
+            EventKind::BrokerDeliver { .. } => "broker_deliver",
+            EventKind::BrokerForward { .. } => "broker_forward",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::StorageInsert { .. } => "storage_insert",
+            EventKind::SelectMatch { .. } => "select_match",
+            EventKind::BatchEnqueue { .. } => "batch_enqueue",
+            EventKind::BatchFlush { .. } => "batch_flush",
+            EventKind::GcPause { .. } => "gc_pause",
+        }
+    }
+}
+
+/// One recorded instant. `actor` is the kernel actor index that emitted
+/// the event; `trace` is `None` for anonymous infrastructure events
+/// (e.g. fabric frames, which carry opaque payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant.
+    pub at: SimTime,
+    /// Causal id, when known at this layer.
+    pub trace: Option<TraceId>,
+    /// Emitting actor's slab index.
+    pub actor: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Monotonic counters sampled into the unified resource log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Frames handed to the network fabric.
+    NetFramesSent,
+    /// Frames delivered by the fabric.
+    NetFramesDelivered,
+    /// Frames dropped by the fabric (UDP).
+    NetDrops,
+    /// Selector evaluations that matched.
+    SelectorMatches,
+    /// Selector evaluations that missed.
+    SelectorMisses,
+    /// Publishes accepted by brokers.
+    BrokerPublishes,
+    /// Local deliveries fanned out by brokers.
+    BrokerDeliveries,
+    /// Messages forwarded between brokers.
+    BrokerForwards,
+    /// Retransmissions (UDP gap recovery).
+    Retries,
+    /// Tuples stored by R-GMA producers.
+    TuplesStored,
+    /// Tuples streamed to consumers by continuous SELECTs.
+    TuplesDelivered,
+    /// Secondary-producer batch flushes.
+    BatchFlushes,
+    /// Simulated GC pauses.
+    GcPauses,
+}
+
+/// Number of [`Counter`] slots.
+pub const COUNTER_COUNT: usize = 13;
+
+impl Counter {
+    /// All counters, in slot order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::NetFramesSent,
+        Counter::NetFramesDelivered,
+        Counter::NetDrops,
+        Counter::SelectorMatches,
+        Counter::SelectorMisses,
+        Counter::BrokerPublishes,
+        Counter::BrokerDeliveries,
+        Counter::BrokerForwards,
+        Counter::Retries,
+        Counter::TuplesStored,
+        Counter::TuplesDelivered,
+        Counter::BatchFlushes,
+        Counter::GcPauses,
+    ];
+
+    /// Stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::NetFramesSent => "net_frames_sent",
+            Counter::NetFramesDelivered => "net_frames_delivered",
+            Counter::NetDrops => "net_drops",
+            Counter::SelectorMatches => "selector_matches",
+            Counter::SelectorMisses => "selector_misses",
+            Counter::BrokerPublishes => "broker_publishes",
+            Counter::BrokerDeliveries => "broker_deliveries",
+            Counter::BrokerForwards => "broker_forwards",
+            Counter::Retries => "retries",
+            Counter::TuplesStored => "tuples_stored",
+            Counter::TuplesDelivered => "tuples_delivered",
+            Counter::BatchFlushes => "batch_flushes",
+            Counter::GcPauses => "gc_pauses",
+        }
+    }
+}
+
+/// Instantaneous levels sampled into the unified resource log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Transmit backlog of the most recently used NIC, microseconds
+    /// (the model's only queue: the per-node FIFO transmit server).
+    NicBacklogUs,
+    /// Tuples currently buffered in the secondary-producer batch.
+    BatchOccupancy,
+}
+
+/// Number of [`Gauge`] slots.
+pub const GAUGE_COUNT: usize = 2;
+
+impl Gauge {
+    /// All gauges, in slot order.
+    pub const ALL: [Gauge; GAUGE_COUNT] = [Gauge::NicBacklogUs, Gauge::BatchOccupancy];
+
+    /// Stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::NicBacklogUs => "nic_backlog_us",
+            Gauge::BatchOccupancy => "batch_occupancy",
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `simtrace`: deterministic tracing and live metrics for the gridmon
+//! simulation stack.
+//!
+//! The paper's headline artifact is a *decomposition* — RTT = PRT + PT +
+//! SRT (fig 15) — but end-of-run aggregates can't say where inside the
+//! middleware a given message spent its time. This crate records every
+//! message's lifecycle as timestamped events keyed on [`simcore::SimTime`]
+//! (never `std::time`), so a run can be replayed hop by hop:
+//! publish → broker → selector match → delivery for NaradaBrokering,
+//! INSERT → storage → continuous SELECT → delivery for R-GMA.
+//!
+//! Pieces:
+//!
+//! * [`TraceId`] — causal id carried in `wire::Message` headers and
+//!   mirrored from `telemetry::ProbeId` for probe traffic.
+//! * [`TraceCollector`] — a bounded ring buffer of [`TraceEvent`]s plus
+//!   live [`Counter`]s/[`Gauge`]s, registered as a kernel service.
+//!   Instrumentation sites look it up with `Context::try_service_mut`,
+//!   so when tracing is off (service absent) the cost is one type-map
+//!   probe and no allocation.
+//! * [`TraceSampler`] — an actor sampling the counters on the same
+//!   cadence as `simos::VmstatSampler`, producing the unified resource
+//!   log.
+//! * [`export`] — JSONL and Chrome `trace_event` (Perfetto-loadable)
+//!   exporters, all byte-deterministic for a given event stream.
+//! * [`TraceSummary`] — per-message PRT/PT/SRT reconstruction that can
+//!   be cross-checked against the `RttCollector`'s independent record;
+//!   any disagreement is a bug in the instrumentation or the kernel.
+
+mod collector;
+mod event;
+pub mod export;
+mod sampler;
+mod summary;
+
+pub use collector::{with_trace, TraceCollector, DEFAULT_CAPACITY};
+pub use event::{Counter, EventKind, Gauge, TraceEvent, TraceId, COUNTER_COUNT, GAUGE_COUNT};
+pub use sampler::{CounterSample, TraceSampler};
+pub use summary::{ProbeBreakdown, TraceSummary};

@@ -1,0 +1,79 @@
+//! Periodic counter sampling on the vmstat cadence.
+
+use crate::collector::TraceCollector;
+use crate::event::{Counter, Gauge, COUNTER_COUNT, GAUGE_COUNT};
+use simcore::{Actor, Context, Payload, SimDuration, SimTime};
+
+/// One snapshot of every counter and gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Counter values at `at`, in [`Counter::ALL`] slot order.
+    pub counters: [u64; COUNTER_COUNT],
+    /// Gauge levels at `at`, in [`Gauge::ALL`] slot order.
+    pub gauges: [u64; GAUGE_COUNT],
+}
+
+impl CounterSample {
+    /// Value of one counter in this sample.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Level of one gauge in this sample.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+}
+
+/// Actor that snapshots the [`TraceCollector`] every `interval` —
+/// deploy with the same interval as `simos::VmstatSampler` so counter
+/// samples and vmstat rows land on the same instants and merge into one
+/// unified resource log.
+pub struct TraceSampler {
+    interval: SimDuration,
+}
+
+struct Tick;
+
+impl TraceSampler {
+    /// Sample every `interval` (the paper's resource cadence is 1 s).
+    pub fn new(interval: SimDuration) -> Self {
+        TraceSampler { interval }
+    }
+}
+
+impl Actor for TraceSampler {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.timer(self.interval, Tick);
+    }
+
+    fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
+        debug_assert!(msg.downcast::<Tick>().is_ok());
+        let now = ctx.now();
+        ctx.service_mut::<TraceCollector>().sample(now);
+        ctx.timer(self.interval, Tick);
+    }
+
+    fn name(&self) -> &str {
+        "trace-sampler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Simulation;
+
+    #[test]
+    fn samples_on_cadence() {
+        let mut sim = Simulation::new(1);
+        sim.add_service(TraceCollector::new());
+        sim.add_actor(TraceSampler::new(SimDuration::from_secs(1)));
+        sim.run_until(SimTime::from_millis(3_500));
+        let tr = sim.service::<TraceCollector>().unwrap();
+        let at: Vec<u64> = tr.samples().iter().map(|s| s.at.as_micros()).collect();
+        assert_eq!(at, vec![1_000_000, 2_000_000, 3_000_000]);
+    }
+}

@@ -172,7 +172,9 @@ mod tests {
         // Deterministic skewed distribution.
         let mut x = 1u64;
         for i in 0..100_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = 100 + (x % 10_000) + if i % 100 == 0 { 200_000 } else { 0 };
             h.record(v);
             exact.push(v);

@@ -19,5 +19,5 @@ pub mod stats;
 
 pub use histogram::LatencyHistogram;
 pub use report::{trim_float, Figure, Series, Table};
-pub use rtt::{ProbeId, RttCollector, RttSummary};
+pub use rtt::{ProbeId, ProbeInstants, RttCollector, RttSummary};
 pub use stats::Welford;

@@ -29,6 +29,22 @@ struct Record {
     after_receiving: Option<SimTime>,
 }
 
+/// The four raw instants of one probe, in fig 15 order. Exposed so an
+/// independent observer (the `simtrace` subsystem) can cross-check its
+/// own per-message reconstruction against this collector — any
+/// disagreement means one of the two instrumentation paths is buggy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeInstants {
+    /// The application called publish/insert.
+    pub before_sending: SimTime,
+    /// The synchronous send returned.
+    pub after_sending: Option<SimTime>,
+    /// The middleware made the message available.
+    pub before_receiving: Option<SimTime>,
+    /// The receiving application had the message.
+    pub after_receiving: Option<SimTime>,
+}
+
 /// Summary of a completed experiment's message telemetry.
 #[derive(Debug, Clone)]
 pub struct RttSummary {
@@ -150,6 +166,16 @@ impl RttCollector {
         &self.hist
     }
 
+    /// Raw instants of one probe (`None` if the id was never issued).
+    pub fn instants(&self, id: ProbeId) -> Option<ProbeInstants> {
+        self.records.get(id.0 as usize).map(|r| ProbeInstants {
+            before_sending: r.before_sending,
+            after_sending: r.after_sending,
+            before_receiving: r.before_receiving,
+            after_receiving: r.after_receiving,
+        })
+    }
+
     /// Summarize at end of experiment.
     pub fn summary(&self) -> RttSummary {
         let sent = self.sent();
@@ -204,9 +230,7 @@ mod tests {
         assert!((s.pt_mean_ms - 490.0).abs() < 1e-9);
         assert!((s.srt_mean_ms - 20.0).abs() < 1e-9);
         // RTT = PRT + PT + SRT (the paper's equation).
-        assert!(
-            (s.rtt_mean_ms - (s.prt_mean_ms + s.pt_mean_ms + s.srt_mean_ms)).abs() < 1e-9
-        );
+        assert!((s.rtt_mean_ms - (s.prt_mean_ms + s.pt_mean_ms + s.srt_mean_ms)).abs() < 1e-9);
     }
 
     #[test]

@@ -72,6 +72,66 @@ proptest! {
     }
 
     #[test]
+    fn welford_sharded_merge_equals_sequential(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        shards in 1usize..8,
+    ) {
+        // Parallel reduction: split the stream into `shards` chunks, fold
+        // each into its own accumulator, merge left-to-right — the result
+        // must agree with a single sequential accumulator to float
+        // tolerance (and exactly on count/min/max).
+        let mut whole = Welford::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        let per = values.len().div_ceil(shards);
+        let mut merged = Welford::new();
+        for chunk in values.chunks(per.max(1)) {
+            let mut w = Welford::new();
+            for &v in chunk {
+                w.push(v);
+            }
+            merged.merge(&w);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (merged.variance() - whole.variance()).abs() < 1e-5 * (1.0 + whole.variance().abs())
+        );
+    }
+
+    #[test]
+    fn histogram_sharded_merge_equals_sequential(
+        values in proptest::collection::vec(0u64..10_000_000, 1..300),
+        shards in 1usize..8,
+    ) {
+        // Same reduction shape as the parallel sweep uses: chunked shards
+        // merged into one histogram must be indistinguishable from
+        // recording the whole stream sequentially.
+        let mut whole = LatencyHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let per = values.len().div_ceil(shards);
+        let mut merged = LatencyHistogram::new();
+        for chunk in values.chunks(per.max(1)) {
+            let mut h = LatencyHistogram::new();
+            for &v in chunk {
+                h.record(v);
+            }
+            merged.merge(&h);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
     fn welford_matches_naive(values in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
         let mut w = Welford::new();
         for &v in &values {

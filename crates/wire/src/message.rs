@@ -34,6 +34,12 @@ pub struct Headers {
     pub delivery_mode: DeliveryMode,
     /// Correlation id, free-form.
     pub correlation_id: Option<u64>,
+    /// Causal trace id (`simtrace`). Out-of-band instrumentation: it is
+    /// carried through the middleware alongside the message but is NOT
+    /// part of the wire encoding, so enabling tracing cannot perturb
+    /// the calibrated transfer timings ([`Headers::wire_size`] and the
+    /// codec ignore it; decode always yields `None`).
+    pub trace: Option<simtrace::TraceId>,
 }
 
 impl Headers {
@@ -46,10 +52,13 @@ impl Headers {
             priority: 4,
             delivery_mode: DeliveryMode::NonPersistent,
             correlation_id: None,
+            trace: None,
         }
     }
 
-    /// Encoded size of the headers on the wire.
+    /// Encoded size of the headers on the wire. The `trace` id is
+    /// deliberately excluded: tracing must be free when off and must
+    /// not change message timing when on.
     pub fn wire_size(&self) -> usize {
         // id + ts + prio + mode + corr flag/value + destination string.
         8 + 8 + 1 + 1 + 9 + 4 + self.destination.len()
@@ -167,7 +176,10 @@ mod tests {
         let m = msg();
         let h = m.headers.wire_size();
         let b = m.body.wire_size();
-        assert_eq!(m.wire_size(), h + 4 + (4 + 2 + Value::Int(7).wire_size()) + 1 + b);
+        assert_eq!(
+            m.wire_size(),
+            h + 4 + (4 + 2 + Value::Int(7).wire_size()) + 1 + b
+        );
         // Headers include the destination name.
         assert!(h > "power.monitor".len());
     }
@@ -176,8 +188,7 @@ mod tests {
     fn body_sizes() {
         assert_eq!(Body::Text("abc".into()).wire_size(), 7);
         assert_eq!(Body::Bytes(vec![0; 10]).wire_size(), 14);
-        let map: BTreeMap<String, Value> =
-            [("k".to_string(), Value::Int(1))].into_iter().collect();
+        let map: BTreeMap<String, Value> = [("k".to_string(), Value::Int(1))].into_iter().collect();
         assert_eq!(Body::Map(map).wire_size(), 4 + 4 + 1 + 5);
     }
 

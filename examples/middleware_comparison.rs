@@ -33,8 +33,16 @@ fn main() {
     let f = |v: f64| format!("{v:.2}");
     let n = &narada.summary;
     let r = &rgma.summary;
-    t.push_row(vec!["mean RTT (ms)".into(), f(n.rtt_mean_ms), f(r.rtt_mean_ms)]);
-    t.push_row(vec!["RTT stddev (ms)".into(), f(n.rtt_stddev_ms), f(r.rtt_stddev_ms)]);
+    t.push_row(vec![
+        "mean RTT (ms)".into(),
+        f(n.rtt_mean_ms),
+        f(r.rtt_mean_ms),
+    ]);
+    t.push_row(vec![
+        "RTT stddev (ms)".into(),
+        f(n.rtt_stddev_ms),
+        f(r.rtt_stddev_ms),
+    ]);
     for (p, label) in [(95, "p95 (ms)"), (99, "p99 (ms)"), (100, "p100 (ms)")] {
         let get = |s: &gridmon::telemetry::RttSummary| {
             s.percentiles_ms
@@ -55,7 +63,11 @@ fn main() {
         f(n.prt_mean_ms),
         f(r.prt_mean_ms),
     ]);
-    t.push_row(vec!["PT mean (ms)".into(), f(n.pt_mean_ms), f(r.pt_mean_ms)]);
+    t.push_row(vec![
+        "PT mean (ms)".into(),
+        f(n.pt_mean_ms),
+        f(r.pt_mean_ms),
+    ]);
     t.push_row(vec![
         "SRT mean (ms)".into(),
         f(n.srt_mean_ms),

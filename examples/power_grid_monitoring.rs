@@ -20,7 +20,10 @@ fn main() {
     let msgs = 30; // 5 simulated minutes per generator
 
     println!("power-grid monitoring acceptance test: {generators} generators");
-    println!("requirement: ≥ {:.1}% of telemetry within 5 s\n", BUDGET_FRACTION * 100.0);
+    println!(
+        "requirement: ≥ {:.1}% of telemetry within 5 s\n",
+        BUDGET_FRACTION * 100.0
+    );
 
     let narada = run_experiment(
         &ExperimentSpec::paper_default(
@@ -48,10 +51,16 @@ fn main() {
             "does NOT meet the requirement"
         };
         println!("{name}:");
-        println!("  mean RTT        : {:.1} ms (p100 {:.1} ms)", s.rtt_mean_ms,
-            s.percentiles_ms.last().map(|p| p.1).unwrap_or(0.0));
+        println!(
+            "  mean RTT        : {:.1} ms (p100 {:.1} ms)",
+            s.rtt_mean_ms,
+            s.percentiles_ms.last().map(|p| p.1).unwrap_or(0.0)
+        );
         println!("  loss            : {:.3}%", s.loss_rate * 100.0);
-        println!("  within 5 s      : {:.3}% of delivered", s.within_5s * 100.0);
+        println!(
+            "  within 5 s      : {:.3}% of delivered",
+            s.within_5s * 100.0
+        );
         println!("  within 100 ms   : {:.3}%", s.within_100ms * 100.0);
         println!("  server CPU idle : {:.0}%", r.server_idle * 100.0);
         println!("  → {verdict}\n");

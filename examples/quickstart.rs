@@ -12,14 +12,13 @@ fn main() {
     // One broker, 10 generator connections, 12 messages each — the
     // smallest end-to-end run that exercises connect → subscribe →
     // publish → match → deliver → acknowledge.
-    let spec = ExperimentSpec::paper_default(
-        "quickstart",
-        SystemUnderTest::NaradaSingle,
-        10,
-    )
-    .scaled(12);
+    let spec =
+        ExperimentSpec::paper_default("quickstart", SystemUnderTest::NaradaSingle, 10).scaled(12);
 
-    println!("running: {} generators, {} messages each…", spec.generators, 12);
+    println!(
+        "running: {} generators, {} messages each…",
+        spec.generators, 12
+    );
     let result = run_experiment(&spec);
     let s = &result.summary;
 

@@ -119,7 +119,10 @@ impl Actor for Db {
             Err(m) => m,
         };
         if msg.downcast::<RunQueries>().is_ok() {
-            println!("t={:>5.1}s  issuing one-time LATEST and HISTORY queries…", ctx.now().as_secs_f64());
+            println!(
+                "t={:>5.1}s  issuing one-time LATEST and HISTORY queries…",
+                ctx.now().as_secs_f64()
+            );
             set.one_time_query(
                 ctx,
                 self.consumer_ep,
@@ -189,7 +192,10 @@ fn main() {
     for row in &r.latest {
         println!("  [{row}]");
     }
-    println!("history query: {} rows within the retention window", r.history);
+    println!(
+        "history query: {} rows within the retention window",
+        r.history
+    );
 
     assert_eq!(r.latest.len(), 4, "one latest row per producer");
     assert!(r.continuous > 0 && r.continuous < r.history + r.latest.len() * 4);

@@ -14,5 +14,6 @@ pub use rgma;
 pub use simcore;
 pub use simnet;
 pub use simos;
+pub use simtrace;
 pub use telemetry;
 pub use wire;

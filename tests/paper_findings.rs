@@ -11,13 +11,15 @@ const MSGS: u32 = 4;
 fn fig3_transport_ordering() {
     let results = run_all(&scenarios::table2_specs(MSGS), 0);
     let rtt: Vec<f64> = results.iter().map(|r| r.summary.rtt_mean_ms).collect();
-    let (udp, udp_cli, nio, tcp, triple, eighty) =
-        (rtt[0], rtt[1], rtt[2], rtt[3], rtt[4], rtt[5]);
+    let (udp, udp_cli, nio, tcp, triple, eighty) = (rtt[0], rtt[1], rtt[2], rtt[3], rtt[4], rtt[5]);
     // "TCP is a very stable transport protocol and has excellent
     // performance. The results of UDP are surprisingly high."
     assert!(udp > tcp * 1.3, "UDP {udp} should be well above TCP {tcp}");
     assert!(udp_cli > tcp, "CLIENT-ack UDP still above TCP");
-    assert!(udp_cli <= udp * 1.1, "CLIENT ack should not be slower than AUTO");
+    assert!(
+        udp_cli <= udp * 1.1,
+        "CLIENT ack should not be slower than AUTO"
+    );
     // "The performance slowed down with large payload."
     assert!(triple > tcp, "Triple {triple} above TCP {tcp}");
     // Fewer connections at higher rate is the fastest configuration.
@@ -183,7 +185,10 @@ fn warmup_loss_appears_and_disappears() {
         lossy.summary.loss_rate > 0.0,
         "publishing immediately loses early tuples"
     );
-    assert!(lossy.summary.loss_rate < 0.2, "but only the first tuple or so");
+    assert!(
+        lossy.summary.loss_rate < 0.2,
+        "but only the first tuple or so"
+    );
     let clean = run_experiment(
         &ExperimentSpec::paper_default("warm/400", SystemUnderTest::RgmaSingle, 400).scaled(6),
     );
@@ -223,7 +228,10 @@ fn ablation_aggregation_trades_latency_for_broker_cpu() {
     let idle: Vec<f64> = results.iter().map(|r| r.server_idle).collect();
     let rtt: Vec<f64> = results.iter().map(|r| r.summary.rtt_mean_ms).collect();
     let sent: Vec<u64> = results.iter().map(|r| r.summary.sent).collect();
-    assert!(sent[0] > sent[1] && sent[1] > sent[2], "fewer wire messages: {sent:?}");
+    assert!(
+        sent[0] > sent[1] && sent[1] > sent[2],
+        "fewer wire messages: {sent:?}"
+    );
     assert!(
         idle[2] > idle[0],
         "10x aggregation must relieve the broker: {idle:?}"

@@ -1,0 +1,295 @@
+//! Minimal offline stand-in for the [`bytes`] crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the API surface the workspace uses: a growable
+//! write buffer ([`BytesMut`]), a cheaply-cloneable frozen view
+//! ([`Bytes`]), and the [`Buf`]/[`BufMut`] cursor traits with the
+//! little-endian accessors the codec needs. Semantics match the real
+//! crate for this subset (consuming reads advance the view; `freeze`
+//! and `slice` share the underlying allocation).
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Remaining length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view sharing the same allocation. `range` is relative to
+    /// the current view; panics if out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        Bytes {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Read cursor over a byte buffer (the subset the codec uses; all
+/// multi-byte accessors are little-endian, matching the wire format).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume `len` bytes into an owned buffer. Panics if short.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Consume a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32;
+    /// Consume a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Consume a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty) => {{
+        let n = std::mem::size_of::<$ty>();
+        let mut raw = [0u8; std::mem::size_of::<$ty>()];
+        raw.copy_from_slice($self.take(n));
+        <$ty>::from_le_bytes(raw)
+    }};
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        Bytes::from(self.take(len).to_vec())
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        get_le!(self, u16)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+    fn get_i32_le(&mut self) -> i32 {
+        get_le!(self, i32)
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        get_le!(self, i64)
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        get_le!(self, f32)
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        get_le!(self, f64)
+    }
+}
+
+/// Write cursor (little-endian accessors, matching the wire format).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(7);
+        b.put_u16_le(0x1234);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_i32_le(-5);
+        b.put_i64_le(i64::MIN);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i32_le(), -5);
+        assert_eq!(r.get_i64_le(), i64::MIN);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert_eq!(r.copy_to_bytes(3).to_vec(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(s.len(), 3);
+        let s2 = s.slice(1..2);
+        assert_eq!(s2.to_vec(), vec![3]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Minimal offline stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId::from_parameter`, and `black_box` — backed by a simple
+//! wall-clock sampler. No statistical analysis, HTML reports, or
+//! baselines: each bench prints its per-iteration mean and sample
+//! count, which is enough to compare hot paths before/after a change.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-bench time budget. Samples stop early once this is spent, so
+/// slow benches (whole-experiment runs) still finish promptly.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value (`group/value`).
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId {
+            name: p.to_string(),
+        }
+    }
+
+    /// Id with an explicit function name and parameter.
+    pub fn new(function: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{p}", function.into()),
+        }
+    }
+}
+
+/// Anything usable as a bench id: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the printed name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// Passed to the bench closure; times the measured routine.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing each call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            if budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per bench (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.into_name();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+        };
+        let t0 = Instant::now();
+        f(&mut b);
+        let wall = t0.elapsed();
+        self.criterion
+            .report(&format!("{}/{name}", self.name), &b, wall);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (reporting already happened per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters by bench name; cargo's
+        // own flags (`--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: 20,
+            total: Duration::ZERO,
+        };
+        let t0 = Instant::now();
+        f(&mut b);
+        let wall = t0.elapsed();
+        self.report(name, &b, wall);
+        self
+    }
+
+    fn report(&self, name: &str, b: &Bencher, wall: Duration) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        // `iter` may have stopped early on the time budget; infer the
+        // sample count from the recorded total vs. wall time instead of
+        // trusting the configured size.
+        let samples = if b.total.is_zero() {
+            0
+        } else {
+            ((b.samples as f64) * (b.total.as_secs_f64() / wall.as_secs_f64().max(1e-9)))
+                .round()
+                .clamp(1.0, b.samples as f64) as u64
+        };
+        let mean_ns = if samples == 0 {
+            0.0
+        } else {
+            b.total.as_secs_f64() * 1e9 / samples as f64
+        };
+        let (value, unit) = if mean_ns >= 1e9 {
+            (mean_ns / 1e9, "s")
+        } else if mean_ns >= 1e6 {
+            (mean_ns / 1e6, "ms")
+        } else if mean_ns >= 1e3 {
+            (mean_ns / 1e3, "µs")
+        } else {
+            (mean_ns, "ns")
+        };
+        println!("{name:<48} {value:>10.3} {unit}/iter ({samples} samples)");
+    }
+}
+
+/// Bundle bench functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        // Warm-up + up to 5 timed samples.
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &41u64, |b, &n| {
+            b.iter(|| black_box(n + 1))
+        });
+    }
+}

@@ -1,0 +1,980 @@
+//! Minimal offline stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the subset of proptest the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`
+//! / `prop_filter` / `prop_recursive` / `boxed`, range and tuple and
+//! `&str`-regex strategies, `collection::{vec, btree_map}`,
+//! `option::of`, `num::{f32,f64}::NORMAL`, `string::string_regex`, and
+//! the `proptest!` / `prop_compose!` / `prop_oneof!` / `prop_assert*!`
+//! / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via
+//!   the panic message (cases are `Debug`-free, so the assertion text
+//!   itself must carry context) and the case number, which is enough to
+//!   re-run deterministically.
+//! * **Deterministic seeding.** The RNG seed derives from the test's
+//!   `module_path!()::name`, so every run of the suite generates the
+//!   same cases — matching this repo's determinism-first philosophy.
+//! * The regex generator supports the character-class subset the tests
+//!   use (`[a-z0-9_]{lo,hi}` style concatenations), not full regex.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (e.g. `prop_assume!` failed); it is
+        /// retried with fresh inputs and not counted.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// Build a rejection with a reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `n` cases.
+        pub fn with_cases(n: u32) -> Self {
+            Config { cases: n }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator used for all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded generator.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[lo, hi)`; `hi > lo` required.
+        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(hi > lo);
+            lo + self.next_u64() % (hi - lo)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// True with probability `p`.
+        pub fn chance(&mut self, p: f64) -> bool {
+            self.next_f64() < p
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive one property test: generate inputs and run `case` until
+    /// `config.cases` cases are accepted; panic on the first failure.
+    pub fn run_cases(
+        name: &str,
+        config: Config,
+        mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
+        let mut rng = TestRng::new(fnv1a(name));
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = config.cases.saturating_mul(100).max(1000);
+        while accepted < config.cases {
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "{name}: too many rejected cases \
+                             ({rejected} rejects for {accepted} accepted)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: case {accepted} failed: {msg}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred` (regenerates on miss).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Build a recursive strategy: values are either from `self`
+        /// (the leaf) or from `recurse` applied to the strategy built
+        /// so far, nested up to `depth` levels.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                cur = Union::new(vec![leaf.clone(), recurse(cur).boxed()]).boxed();
+            }
+            cur
+        }
+
+        /// Erase the concrete type behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.new_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}) rejected 10000 straight values",
+                self.reason
+            );
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A cloneable type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Union over the given alternatives (at least one).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let ix = rng.range_u64(0, self.options.len() as u64) as usize;
+            self.options[ix].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + off) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (lo as i128 + off) as $ty
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $ty) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// `&str` strategies are regex patterns (character-class subset).
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+                .new_value(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// Strategy backed by a generation function (used by `any` and the
+    /// special-value generators).
+    #[derive(Clone)]
+    pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T> {
+        f: F,
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> FnStrategy<T, F> {
+        /// Wrap a generation function.
+        pub fn new(f: F) -> Self {
+            FnStrategy { f }
+        }
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{FnStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                    // Bias ~1/8 of draws toward boundary values, where
+                    // integer bugs live.
+                    if rng.chance(0.125) {
+                        let edges = [0 as $ty, 1 as $ty, <$ty>::MAX, <$ty>::MIN];
+                        edges[rng.range_u64(0, edges.len() as u64) as usize]
+                    } else {
+                        rng.next_u64() as $ty
+                    }
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy for any `Arbitrary` type (`any::<T>()`).
+    pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> {
+        FnStrategy::new(T::arbitrary_value)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{FnStrategy, Strategy};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Vec of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: Range<usize>,
+    ) -> impl Strategy<Value = Vec<S::Value>> {
+        FnStrategy::new(move |rng| {
+            let len = rng.range_u64(size.start as u64, size.end as u64) as usize;
+            (0..len).map(|_| element.new_value(rng)).collect()
+        })
+    }
+
+    /// BTreeMap with keys/values from the given strategies and a target
+    /// length drawn from `size`. Duplicate keys overwrite, so when the
+    /// key space is smaller than the target the map saturates (matching
+    /// real proptest's best-effort behaviour).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    ) -> impl Strategy<Value = BTreeMap<K::Value, V::Value>>
+    where
+        K::Value: Ord,
+    {
+        FnStrategy::new(move |rng| {
+            let target = rng.range_u64(size.start as u64, size.end as u64) as usize;
+            let mut m = BTreeMap::new();
+            let mut attempts = 0usize;
+            while m.len() < target && attempts < target * 20 + 50 {
+                m.insert(keys.new_value(rng), values.new_value(rng));
+                attempts += 1;
+            }
+            m
+        })
+    }
+}
+
+pub mod option {
+    use crate::strategy::{FnStrategy, Strategy};
+
+    /// `Option` that is `Some` about half the time.
+    pub fn of<S: Strategy>(inner: S) -> impl Strategy<Value = Option<S::Value>> {
+        FnStrategy::new(move |rng| {
+            if rng.chance(0.5) {
+                Some(inner.new_value(rng))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+pub mod num {
+    macro_rules! normal_float {
+        ($mod_name:ident, $ty:ty, $exp_range:expr) => {
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Strategy over finite, normal (non-zero, non-subnormal)
+                /// floats.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Normal;
+
+                /// The canonical instance, mirroring `proptest::num::*::NORMAL`.
+                pub const NORMAL: Normal = Normal;
+
+                impl Strategy for Normal {
+                    type Value = $ty;
+                    fn new_value(&self, rng: &mut TestRng) -> $ty {
+                        let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+                        let mantissa = 1.0 + rng.next_f64() as $ty;
+                        let exp = rng.range_u64(0, ($exp_range * 2 + 1) as u64) as i32
+                            - $exp_range as i32;
+                        let v = sign as $ty * mantissa * (2.0 as $ty).powi(exp);
+                        debug_assert!(v.is_normal());
+                        v
+                    }
+                }
+            }
+        };
+    }
+    normal_float!(f32, f32, 30);
+    normal_float!(f64, f64, 60);
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// One `[class]{lo,hi}` element of a pattern.
+    #[derive(Debug, Clone)]
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates strings matching a character-class regex pattern:
+    /// concatenations of `[class]`, `[class]{n}`, and `[class]{lo,hi}`
+    /// (plus bare literal characters). This is the subset the
+    /// workspace's tests use.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        elements: Vec<Element>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for el in &self.elements {
+                let n = if el.max > el.min {
+                    rng.range_u64(el.min as u64, el.max as u64 + 1) as usize
+                } else {
+                    el.min
+                };
+                for _ in 0..n {
+                    let ix = rng.range_u64(0, el.chars.len() as u64) as usize;
+                    out.push(el.chars[ix]);
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Vec<char>, String> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars.next().ok_or("unterminated character class")?;
+            if c == ']' {
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                return Ok(set);
+            }
+            let c = if c == '\\' {
+                chars.next().ok_or("dangling escape in class")?
+            } else {
+                c
+            };
+            // `x-y` is a range unless `-` is last (then it's literal).
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&']') | None => set.push(c),
+                    Some(&hi) => {
+                        chars.next();
+                        chars.next();
+                        if (hi as u32) < (c as u32) {
+                            return Err(format!("inverted range {c}-{hi}"));
+                        }
+                        for u in (c as u32)..=(hi as u32) {
+                            set.push(char::from_u32(u).ok_or("bad range codepoint")?);
+                        }
+                    }
+                }
+            } else {
+                set.push(c);
+            }
+        }
+    }
+
+    fn parse_count(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+    ) -> Result<(usize, usize), String> {
+        // Caller consumed `{`.
+        let mut body = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().map_err(|_| "bad repeat lower bound")?,
+                        hi.parse().map_err(|_| "bad repeat upper bound")?,
+                    ),
+                    None => {
+                        let n = body.parse().map_err(|_| "bad repeat count")?;
+                        (n, n)
+                    }
+                };
+                if hi < lo {
+                    return Err(format!("inverted repeat {{{lo},{hi}}}"));
+                }
+                return Ok((lo, hi));
+            }
+            body.push(c);
+        }
+        Err("unterminated repeat".into())
+    }
+
+    /// Build a string strategy from a pattern. Errors on syntax outside
+    /// the supported character-class subset.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => vec![chars.next().ok_or("dangling escape")?],
+                '{' | '}' | ']' | '(' | ')' | '|' | '*' | '+' | '?' | '^' | '$' | '.' => {
+                    return Err(format!("unsupported regex syntax at {c:?} in {pattern:?}"))
+                }
+                lit => vec![lit],
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                parse_count(&mut chars)?
+            } else {
+                (1, 1)
+            };
+            elements.push(Element {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { elements })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn class_subset_generates_matching_strings() {
+            let s = string_regex("[a-z][a-z0-9_]{0,11}").unwrap();
+            let mut rng = TestRng::new(7);
+            for _ in 0..200 {
+                let v = s.new_value(&mut rng);
+                assert!(!v.is_empty() && v.len() <= 12, "{v:?}");
+                let mut cs = v.chars();
+                assert!(cs.next().unwrap().is_ascii_lowercase());
+                assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            }
+        }
+
+        #[test]
+        fn printable_ascii_range() {
+            let s = string_regex("[ -~]{0,16}").unwrap();
+            let mut rng = TestRng::new(9);
+            for _ in 0..100 {
+                for c in s.new_value(&mut rng).chars() {
+                    assert!((' '..='~').contains(&c));
+                }
+            }
+        }
+
+        #[test]
+        fn trailing_dash_is_literal() {
+            let s = string_regex("[a:-]{1,8}").unwrap();
+            let mut rng = TestRng::new(3);
+            let mut saw_dash = false;
+            for _ in 0..300 {
+                for c in s.new_value(&mut rng).chars() {
+                    assert!(matches!(c, 'a' | ':' | '-'), "{c:?}");
+                    saw_dash |= c == '-';
+                }
+            }
+            assert!(saw_dash);
+        }
+
+        #[test]
+        fn rejects_unsupported_syntax() {
+            assert!(string_regex("a|b").is_err());
+            assert!(string_regex("[a-z]*").is_err());
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(..)]` and any number of `fn name(pat in strategy, ..)`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let __strats = ($($strat,)+);
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __cfg,
+                    |__rng| {
+                        let ($($pat,)+) =
+                            $crate::strategy::Strategy::new_value(&__strats, __rng);
+                        let __res: $crate::test_runner::TestCaseResult =
+                            (|| { $body Ok(()) })();
+                        __res
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Define a function returning a composite strategy from named
+/// sub-strategies (the `fn name(args..)(bindings..) -> T { body }` form).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+        ($($pat:pat in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            let __strats = ($($strat,)+);
+            $crate::strategy::Strategy::prop_map(__strats, move |($($pat,)+)| $body)
+        }
+    };
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+),
+                __a
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (it is retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = Strategy::new_value(&(-100i64..100), &mut rng);
+            assert!((-100..100).contains(&v));
+            let u = Strategy::new_value(&(0u16..=7), &mut rng);
+            assert!(u <= 7);
+            let f = Strategy::new_value(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        let leaf = (0i64..10).prop_map(|n| format!("{n}")).boxed();
+        let s = leaf.prop_recursive(3, 24, 4, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = crate::collection::vec(crate::arbitrary::any::<u64>(), 1..20);
+        let a: Vec<Vec<u64>> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| s.new_value(&mut rng)).collect()
+        };
+        let b: Vec<Vec<u64>> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| s.new_value(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(mut v in crate::collection::vec(0u64..100, 0..10), flip in any::<bool>()) {
+            if flip {
+                v.reverse();
+            }
+            prop_assert!(v.len() < 10);
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn assume_filters(a in 0u64..10, b in 0u64..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+}
