@@ -12,7 +12,8 @@ use rgma::{
     ConsumerControl, ConsumerServlet, ProducerControl, ProducerServlet, RegistryActor, RgmaConfig,
     SecondaryProducer,
 };
-use simcore::{SimDuration, SimTime, Simulation};
+use simcore::{ActorId, SimDuration, SimTime, Simulation};
+use simfault::{FaultDriver, FaultInjector, FaultSchedule, FaultStats};
 use simnet::{Endpoint, NetworkFabric, Transport};
 use simos::{NodeId, OsModel, ProcessId, VmstatLog, VmstatSampler};
 use simtrace::{TraceCollector, TraceId, TraceSampler, TraceSummary};
@@ -81,6 +82,10 @@ pub struct ExperimentSpec {
     /// service is registered, so every instrumentation site reduces to
     /// one failed type-map probe.
     pub trace: bool,
+    /// Scripted fault schedule. Empty by default: no injector service is
+    /// registered and no recovery policy is enabled, so fault-free runs
+    /// are byte-identical to builds without fault support.
+    pub faults: FaultSchedule,
 }
 
 impl ExperimentSpec {
@@ -105,12 +110,22 @@ impl ExperimentSpec {
             dbn_broadcast: true,
             rgma_config: None,
             trace: false,
+            faults: FaultSchedule::new(),
         }
     }
 
     /// Enable per-message lifecycle tracing for this run.
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Inject a scripted fault schedule. Also arms the default client
+    /// recovery policies (Narada reconnect, R-GMA HTTP retry and
+    /// soft-state refresh) unless an explicit `rgma_config` overrides
+    /// them.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -169,6 +184,9 @@ pub struct ExperimentResult {
     pub events: u64,
     /// Trace exports and cross-check (only when `spec.trace` was set).
     pub trace: Option<TraceArtifacts>,
+    /// Graceful-degradation accounting (only when `spec.faults` was
+    /// non-empty): dropped vs delayed vs recovered, per cause.
+    pub fault_stats: Option<FaultStats>,
 }
 
 /// Deploy and run one experiment to completion.
@@ -215,6 +233,12 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         // the unified resource log interleaves 1:1.
         sim.add_actor(TraceSampler::new(SimDuration::from_secs(1)));
     }
+    if !spec.faults.is_empty() {
+        // The injector owns a private RNG stream, so registering it does
+        // not perturb the kernel RNG; with an empty schedule it is not
+        // registered at all and every fault probe is a no-op.
+        sim.add_service(FaultInjector::new(spec.seed));
+    }
 
     // Server processes.
     let server_procs: Vec<ProcessId> = server_nodes
@@ -255,6 +279,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let mut fleet_stats: Vec<FleetStatsHandle> = Vec::new();
     let mut sub_stats: Vec<FleetStatsHandle> = Vec::new();
     let mut broker_stats: Vec<narada::StatsHandle> = Vec::new();
+    // Fault targets, filled in by the deployment branches below.
+    let mut fault_brokers: Vec<ActorId> = Vec::new();
+    let mut fault_registry: Option<ActorId> = None;
 
     let per_fleet = split_evenly(spec.generators, fleet_nodes_n);
     match spec.system {
@@ -281,9 +308,15 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                 broker_stats.extend(network.stats.iter().cloned());
                 network.endpoints
             };
+            fault_brokers = endpoints.iter().map(|ep| ep.actor).collect();
             let settings = ConnSettings {
                 transport: spec.transport,
                 ack_mode: spec.ack_mode,
+                reconnect: if spec.faults.is_empty() {
+                    None
+                } else {
+                    Some(narada::ReconnectPolicy::default())
+                },
             };
             // Fig 5 topology: "Publishers connect to publishing brokers.
             // Subscribers connect to subscribing brokers." The last broker
@@ -334,16 +367,23 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         SystemUnderTest::RgmaSingle
         | SystemUnderTest::RgmaDistributed
         | SystemUnderTest::RgmaSecondary => {
-            let rcfg = spec
+            let mut rcfg = spec
                 .rgma_config
                 .clone()
                 .unwrap_or_else(RgmaConfig::glite_3_0);
+            if !spec.faults.is_empty() && spec.rgma_config.is_none() {
+                // Default recovery policies ride along with the faults:
+                // insert retry-on-5xx and soft-state re-registration.
+                rcfg.insert_retry = Some(rgma::HttpRetryPolicy::default());
+                rcfg.soft_state_refresh = Some(SimDuration::from_secs(10));
+            }
             // Registry always on server node 0.
             let reg = sim.add_actor(RegistryActor::new(
                 rcfg.clone(),
                 server_nodes[0],
                 server_procs[0],
             ));
+            fault_registry = Some(reg);
             let reg_ep = Endpoint::new(server_nodes[0], reg);
             // Producer/Consumer servlets.
             let (prod_hosts, cons_hosts): (Vec<usize>, Vec<usize>) = match spec.system {
@@ -434,6 +474,17 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         }
     }
 
+    // The driver is added last so its `on_start` timers land after every
+    // deployment actor exists; targets that a schedule names but the
+    // deployment lacks (e.g. a registry in a Narada run) are ignored.
+    if !spec.faults.is_empty() {
+        sim.add_actor(FaultDriver::new(
+            spec.faults.clone(),
+            fault_brokers,
+            fault_registry,
+        ));
+    }
+
     // --- Run --------------------------------------------------------
     let creation_interval = if spec.system.is_rgma() {
         calibration::rgma_creation_interval()
@@ -506,6 +557,14 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                 disagreements.push(err);
             }
         }
+        // Hard assertion in test/debug builds: the two instrumentation
+        // paths share nothing but the message, so any disagreement is a
+        // bug, not a tolerable measurement artifact. Release harness
+        // runs still surface the list via `TraceArtifacts` + a warning.
+        debug_assert!(
+            disagreements.is_empty(),
+            "trace/RttCollector cross-check failed: {disagreements:?}"
+        );
         // Unified resource log: vmstat rows ride along with the counter
         // samples in the JSONL export.
         let resources: Vec<simtrace::export::ResourceRow> = vm
@@ -539,6 +598,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         sim_time: sim.now(),
         events: sim.stats().events_processed,
         trace,
+        fault_stats: sim.service::<FaultInjector>().map(|inj| inj.stats),
     }
 }
 

@@ -20,4 +20,5 @@ pub mod sweep;
 pub use experiment::{
     run_experiment, ExperimentResult, ExperimentSpec, SystemUnderTest, TraceArtifacts,
 };
+pub use simfault::{FaultKind, FaultSchedule, FaultStats};
 pub use sweep::run_all;

@@ -1,6 +1,6 @@
 //! Memoized parallel execution of experiment specs.
 
-use gridmon_core::{run_all, ExperimentResult, ExperimentSpec};
+use gridmon_core::{run_all, ExperimentResult, ExperimentSpec, FaultSchedule, FaultStats};
 use std::collections::HashMap;
 
 /// Runs specs on demand, caching results by spec name so artifacts that
@@ -8,6 +8,7 @@ use std::collections::HashMap;
 pub struct Campaign {
     threads: usize,
     trace: bool,
+    faults: FaultSchedule,
     results: HashMap<String, ExperimentResult>,
     /// Wall-clock seconds spent running experiments.
     pub wall_seconds: f64,
@@ -19,6 +20,7 @@ impl Campaign {
         Campaign {
             threads,
             trace: false,
+            faults: FaultSchedule::new(),
             results: HashMap::new(),
             wall_seconds: 0.0,
         }
@@ -30,6 +32,12 @@ impl Campaign {
         self.trace = on;
     }
 
+    /// Inject this fault schedule into every spec this campaign runs
+    /// from now on (`--faults <scenario>`).
+    pub fn set_faults(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+    }
+
     /// Ensure every spec has been run; returns results in spec order.
     pub fn ensure(&mut self, specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
         let missing: Vec<ExperimentSpec> = specs
@@ -38,6 +46,9 @@ impl Campaign {
             .cloned()
             .map(|mut s| {
                 s.trace |= self.trace;
+                if s.faults.is_empty() {
+                    s.faults = self.faults.clone();
+                }
                 s
             })
             .collect();
@@ -57,6 +68,18 @@ impl Campaign {
     /// Number of distinct experiments run so far.
     pub fn runs(&self) -> usize {
         self.results.len()
+    }
+
+    /// Degradation accounting of every fault-injected run, sorted by
+    /// run name. Empty when no spec carried a fault schedule.
+    pub fn fault_stats(&self) -> Vec<(String, FaultStats)> {
+        let mut rows: Vec<(String, FaultStats)> = self
+            .results
+            .iter()
+            .filter_map(|(name, r)| r.fault_stats.map(|s| (name.clone(), s)))
+            .collect();
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        rows
     }
 
     /// Write the trace artifacts of every traced run under `dir`:

@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale N] [--threads N] [--out DIR] [--trace[=DIR]] <artifact>...
+//! repro [--scale N] [--threads N] [--out DIR] [--trace[=DIR]]
+//!       [--faults SCENARIO] <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 rgma-warmup
@@ -14,6 +15,10 @@
 //! --trace[=DIR] record per-message lifecycle traces for every run and
 //!              write `<run>.trace.jsonl` + `<run>.trace.json` (Chrome
 //!              trace_event) under DIR (default: results/trace/)
+//! --faults SCENARIO  inject a named fault scenario into every run and
+//!              report the per-cause degradation accounting (scenarios:
+//!              broker-crash registry-restart link-burst partition
+//!              servlet-stall slowdown chaos)
 //! ```
 
 use harness::{artifacts, Campaign};
@@ -24,7 +29,17 @@ struct Options {
     threads: usize,
     out: Option<std::path::PathBuf>,
     trace: Option<std::path::PathBuf>,
+    faults: Option<gridmon_core::FaultSchedule>,
     artifacts: Vec<String>,
+}
+
+fn parse_fault_scenario(name: &str) -> Result<gridmon_core::FaultSchedule, String> {
+    gridmon_core::FaultSchedule::scenario(name).ok_or_else(|| {
+        format!(
+            "unknown fault scenario {name:?} (one of: {})",
+            gridmon_core::FaultSchedule::SCENARIOS.join(" ")
+        )
+    })
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -32,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
     let mut threads = 0usize;
     let mut out = Some(std::path::PathBuf::from("results"));
     let mut trace = None;
+    let mut faults = None;
     let mut artifacts = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -44,6 +60,15 @@ fn parse_args() -> Result<Options, String> {
                 return Err("--trace= needs a directory (or use bare --trace)".into());
             }
             trace = Some(std::path::PathBuf::from(dir));
+            continue;
+        }
+        if let Some(name) = a.strip_prefix("--faults=") {
+            faults = Some(parse_fault_scenario(name)?);
+            continue;
+        }
+        if a == "--faults" {
+            let name = args.next().ok_or("--faults needs a scenario name")?;
+            faults = Some(parse_fault_scenario(&name)?);
             continue;
         }
         match a.as_str() {
@@ -84,6 +109,7 @@ fn parse_args() -> Result<Options, String> {
         threads,
         out,
         trace,
+        faults,
         artifacts,
     })
 }
@@ -140,9 +166,11 @@ fn main() {
         eprintln!(
             "repro — regenerate the IPPS 2007 pub/sub study artifacts\n\n\
              usage: repro [--scale N] [--threads N] [--out DIR | --no-csv] \
-             [--trace[=DIR]] <artifact>...\n\n\
-             artifacts: {} all",
-            ALL.join(" ")
+             [--trace[=DIR]] [--faults SCENARIO] <artifact>...\n\n\
+             artifacts: {} all\n\
+             fault scenarios: {}",
+            ALL.join(" "),
+            gridmon_core::FaultSchedule::SCENARIOS.join(" ")
         );
         return;
     }
@@ -154,6 +182,9 @@ fn main() {
 
     let mut campaign = Campaign::new(opts.threads);
     campaign.set_trace(opts.trace.is_some());
+    if let Some(faults) = &opts.faults {
+        campaign.set_faults(faults.clone());
+    }
     let scale = opts.scale;
     let t0 = std::time::Instant::now();
     for name in &names {
@@ -243,6 +274,20 @@ fn main() {
                 eprintln!("unknown artifact {other:?} (see --help)");
                 std::process::exit(2);
             }
+        }
+    }
+    if opts.faults.is_some() {
+        for (name, stats) in campaign.fault_stats() {
+            let table = telemetry::degradation_table(
+                format!("Fault campaign degradation — {name}"),
+                &stats.rows(),
+            );
+            println!("{}", table.render());
+            write_csv(
+                &opts.out,
+                &format!("{}.faults", name.replace(['/', ' '], "_")),
+                &table.to_csv(),
+            );
         }
     }
     if let Some(dir) = &opts.trace {

@@ -48,6 +48,10 @@ pub struct BrokerStats {
     pub dup_publishes: u64,
     /// Deliveries retransmitted (CLIENT-ack gap recovery).
     pub retransmissions: u64,
+    /// Times this broker's JVM was crashed by fault injection.
+    pub crashes: u64,
+    /// Messages re-delivered from stable storage after a restart.
+    pub resynced: u64,
 }
 
 /// Shared handle for reading a broker's stats after the simulation.
@@ -71,6 +75,25 @@ struct PendingDelivery {
     retransmitted: bool,
 }
 
+/// A message preserved across a crash for one durable (CLIENT-ack UDP)
+/// subscriber, keyed by the subscriber's actor so it survives the
+/// connection id changing on reconnect.
+struct StableEntry {
+    sub_id: u32,
+    probe: ProbeId,
+    message: Message,
+}
+
+/// What the broker remembers about a durable subscription across a
+/// crash: enough to keep capturing matching publishes into stable
+/// storage while the subscriber is still reconnecting.
+struct DurableSub {
+    sub_id: u32,
+    topic: String,
+    selector: Selector,
+    attached: bool,
+}
+
 /// The broker actor.
 pub struct Broker {
     cfg: NaradaConfig,
@@ -87,6 +110,13 @@ pub struct Broker {
     next_fwd_seq: u64,
     /// Flood dedup: (origin broker, seq) already processed.
     seen_forwards: std::collections::HashSet<(u16, u64)>,
+    /// True while the JVM is fault-crashed: all network input is dropped.
+    crashed: bool,
+    /// Crash-surviving message log, keyed by subscriber actor index.
+    stable: std::collections::BTreeMap<u64, Vec<StableEntry>>,
+    /// Durable (CLIENT-ack UDP topic) subscriptions remembered across
+    /// crashes, keyed by subscriber actor index.
+    durable_subs: std::collections::BTreeMap<u64, Vec<DurableSub>>,
     stats: StatsHandle,
 }
 
@@ -105,6 +135,9 @@ impl Broker {
             peer_interests: HashMap::new(),
             next_fwd_seq: 0,
             seen_forwards: std::collections::HashSet::new(),
+            crashed: false,
+            stable: std::collections::BTreeMap::new(),
+            durable_subs: std::collections::BTreeMap::new(),
             stats: StatsHandle::default(),
         }
     }
@@ -220,6 +253,32 @@ impl Broker {
             panic!("invalid selector {selector:?}: {e}")
         });
         let had_interest = self.engine.has_interest(&topic);
+        // CLIENT-ack UDP topic subscriptions double as durable ones: the
+        // broker remembers them across crashes so it can keep capturing
+        // matching publishes into stable storage while the subscriber is
+        // still reconnecting, then resync on request.
+        let transport = self.conns.get(&conn).map(|c| c.transport);
+        if !queue && ack_mode == AckMode::Client && transport == Some(Transport::Udp) {
+            let peer = ctx
+                .service::<NetworkFabric>()
+                .peer_of(conn, self.endpoint)
+                .actor
+                .index() as u64;
+            let subs = self.durable_subs.entry(peer).or_default();
+            match subs.iter_mut().find(|d| d.sub_id == sub_id) {
+                Some(d) => {
+                    d.topic = topic.clone();
+                    d.selector = selector.clone();
+                    d.attached = true;
+                }
+                None => subs.push(DurableSub {
+                    sub_id,
+                    topic: topic.clone(),
+                    selector: selector.clone(),
+                    attached: true,
+                }),
+            }
+        }
         if queue {
             self.engine
                 .subscribe_queue(&topic, conn, sub_id, selector, ack_mode);
@@ -343,6 +402,9 @@ impl Broker {
         };
         self.record_selector_outcome(ctx, probe, matched, missed);
 
+        if !queue {
+            self.capture_orphans(probe, &message, &topic);
+        }
         self.dispatch_deliveries(ctx, probe, &message, matches, done);
 
         if queue {
@@ -552,11 +614,160 @@ impl Broker {
         let matched = matches.len() as u32;
         let missed = (self.engine.topic_len(&topic) as u32).saturating_sub(matched);
         self.record_selector_outcome(ctx, probe, matched, missed);
+        self.capture_orphans(probe, &message, &topic);
         self.dispatch_deliveries(ctx, probe, &message, matches, done);
         // v1.1.3 floods onward (the congestion the paper found).
         if self.cfg.dbn_broadcast {
             self.forward_to_peers(ctx, probe, &message, &topic, done, origin, seq, from_ix);
         }
+    }
+
+    /// While a durable subscriber is detached (the broker restarted and
+    /// the client has not resubscribed yet), matching topic publishes go
+    /// to its stable log instead of being lost.
+    fn capture_orphans(&mut self, probe: ProbeId, message: &Message, topic: &str) {
+        for (&peer, subs) in &self.durable_subs {
+            for d in subs {
+                if !d.attached && d.topic == topic && d.selector.matches(message) {
+                    self.stable.entry(peer).or_default().push(StableEntry {
+                        sub_id: d.sub_id,
+                        probe,
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fault injection kills the JVM: volatile state (connections,
+    /// threads, the matching engine, flood dedup) is lost; CLIENT-ack
+    /// pendings move to the stable log keyed by subscriber actor, which
+    /// is the durability the resync protocol recovers from.
+    fn on_crash(&mut self, ctx: &mut Context<'_>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.stats.borrow_mut().crashes += 1;
+        let mut conn_ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        conn_ids.sort_unstable_by_key(|c| c.0);
+        let heap = self.cfg.memory.heap_per_conn;
+        for conn in conn_ids {
+            let mut state = self.conns.remove(&conn).expect("listed");
+            let peer = ctx
+                .service::<NetworkFabric>()
+                .peer_of(conn, self.endpoint)
+                .actor
+                .index() as u64;
+            let mut seqs: Vec<u64> = state.pending.keys().copied().collect();
+            seqs.sort_unstable();
+            for seq in seqs {
+                let p = state.pending.remove(&seq).expect("listed");
+                self.stable.entry(peer).or_default().push(StableEntry {
+                    sub_id: p.sub_id,
+                    probe: p.probe,
+                    message: p.message,
+                });
+            }
+            ctx.with_service::<OsModel, _>(|os, _| {
+                os.kill_thread(self.proc);
+                os.free(self.proc, heap);
+            });
+        }
+        for subs in self.durable_subs.values_mut() {
+            for d in subs.iter_mut() {
+                d.attached = false;
+            }
+        }
+        self.engine = MatchingEngine::new();
+        self.seen_forwards.clear();
+        // next_fwd_seq is deliberately kept: peers' flood dedup keys on
+        // (origin, seq), and reusing sequences after a restart would make
+        // them silently discard fresh messages.
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        self.gossip_interests(ctx);
+    }
+
+    /// Re-deliver everything the stable log holds for this subscriber's
+    /// subscription, with fresh delivery sequences from its re-created
+    /// subscription. The re-injected messages re-enter the normal
+    /// CLIENT-ack pending set so gap recovery covers them too.
+    fn on_resync(&mut self, ctx: &mut Context<'_>, conn: ConnId, sub_id: u32) {
+        let peer = ctx
+            .service::<NetworkFabric>()
+            .peer_of(conn, self.endpoint)
+            .actor
+            .index() as u64;
+        if let Some(subs) = self.durable_subs.get_mut(&peer) {
+            if let Some(d) = subs.iter_mut().find(|d| d.sub_id == sub_id) {
+                d.attached = true;
+            }
+        }
+        let Some(entries) = self.stable.get_mut(&peer) else {
+            return;
+        };
+        let mut mine = Vec::new();
+        let mut rest = Vec::new();
+        for e in entries.drain(..) {
+            if e.sub_id == sub_id {
+                mine.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        *entries = rest;
+        if mine.is_empty() {
+            return;
+        }
+        let ep = self.endpoint;
+        let n = mine.len() as u64;
+        let mut ready_at = ctx.now();
+        for e in mine {
+            let Some(seq) = self.engine.assign_seq(conn, sub_id) else {
+                continue;
+            };
+            ready_at = self
+                .cpu(ctx, self.cfg.costs.broker_deliver_base)
+                .max(ready_at);
+            let bytes = deliver_bytes(&e.message);
+            let deliver = BrokerToClient::Deliver {
+                sub_id,
+                probe: e.probe,
+                deliver_seq: seq,
+                message: e.message.clone(),
+                retransmit: true,
+            };
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, conn, ep, bytes, Box::new(deliver), ready_at);
+            });
+            {
+                let mut st = self.stats.borrow_mut();
+                st.delivered += 1;
+                st.resynced += 1;
+            }
+            if let Some(state) = self.conns.get_mut(&conn) {
+                state.max_sent_seq = Some(state.max_sent_seq.map_or(seq, |s| s.max(seq)));
+                state.pending.insert(
+                    seq,
+                    PendingDelivery {
+                        sub_id,
+                        probe: e.probe,
+                        message: e.message,
+                        retransmitted: false,
+                    },
+                );
+            }
+        }
+        simfault::with_faults(ctx, |inj, _| inj.stats.recovered += n);
+        simtrace::with_trace(ctx, |tr, _| {
+            tr.count(simtrace::Counter::FaultRecoveries, n);
+        });
     }
 
     fn on_ack(&mut self, ctx: &mut Context<'_>, conn: ConnId, cumulative: u64, extra: Vec<u64>) {
@@ -643,10 +854,32 @@ impl Actor for Broker {
             }
             Err(m) => m,
         };
+        // Fault injection: crash/restart signals arrive directly from the
+        // fault driver, not over the network, so a crashed broker still
+        // hears its own restart.
+        let msg = match msg.downcast::<simfault::FaultSignal>() {
+            Ok(sig) => {
+                match *sig {
+                    simfault::FaultSignal::BrokerCrash => self.on_crash(ctx),
+                    simfault::FaultSignal::BrokerRestart => self.on_restart(ctx),
+                    simfault::FaultSignal::RegistryRestart => {}
+                }
+                return;
+            }
+            Err(m) => m,
+        };
         // Network deliveries.
         let Ok(delivery) = msg.downcast::<Delivery>() else {
             return; // unknown message type: ignore
         };
+        if self.crashed {
+            // A dead JVM: every frame aimed at it evaporates.
+            simfault::with_faults(ctx, |inj, _| inj.stats.crash_drops += 1);
+            simtrace::with_trace(ctx, |tr, _| {
+                tr.count(simtrace::Counter::FaultDrops, 1);
+            });
+            return;
+        }
         let Delivery {
             conn,
             bytes,
@@ -683,6 +916,22 @@ impl Actor for Broker {
                         cumulative_seq,
                         extra,
                     } => self.on_ack(ctx, conn, cumulative_seq, extra),
+                    ClientToBroker::Ping => {
+                        // Only connections this incarnation accepted get an
+                        // answer; pings on pre-crash connections go
+                        // unanswered and trigger client-side detection.
+                        if self.conns.contains_key(&conn) {
+                            let now = ctx.now();
+                            self.send_to_client(
+                                ctx,
+                                conn,
+                                CONTROL_FRAME_BYTES,
+                                BrokerToClient::Pong,
+                                now,
+                            );
+                        }
+                    }
+                    ClientToBroker::Resync { sub_id } => self.on_resync(ctx, conn, sub_id),
                 }
                 return;
             }

@@ -48,6 +48,19 @@ pub enum ClientEvent {
         /// Probe of the lost message.
         probe: ProbeId,
     },
+    /// The broker stopped answering and a reconnect attempt began. The
+    /// host must redirect its bookkeeping from `old` to `new`.
+    Reconnecting {
+        /// Connection id being abandoned.
+        old: ConnId,
+        /// Replacement connection (currently connecting).
+        new: ConnId,
+    },
+    /// A reconnect attempt succeeded; subscriptions were re-created and
+    /// buffered/pending publishes re-sent automatically.
+    Reconnected(ConnId),
+    /// Every reconnect attempt failed; the connection is gone for good.
+    ConnectionLost(ConnId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,8 +87,22 @@ struct SubRecv {
     dirty: bool,
 }
 
+/// What a reconnecting client must remember to re-create a subscription
+/// on a fresh connection.
+#[derive(Clone)]
+struct SubSpec {
+    sub_id: u32,
+    topic: String,
+    selector: String,
+    queue: bool,
+    /// CLIENT-ack UDP subscriptions ask the broker for a stable-storage
+    /// resync once the re-subscribe is confirmed.
+    needs_resync: bool,
+}
+
 struct ConnState {
     settings: ConnSettings,
+    broker_ep: Endpoint,
     phase: ConnPhase,
     next_pub_seq: u64,
     pending_pubs: HashMap<u64, PendingPub>,
@@ -83,11 +110,31 @@ struct ConnState {
     /// deterministic ack-flush order).
     recv: BTreeMap<u32, SubRecv>,
     ack_flush_armed: bool,
+    /// Subscriptions ever created on this logical connection, for
+    /// re-subscribe after reconnect.
+    subs: Vec<SubSpec>,
+    /// Last instant the broker was heard from (reconnect detection).
+    last_seen: SimTime,
+    /// Reconnect attempts made so far (0 = never lost). Refunded on every
+    /// successful connect: the cap bounds one outage, not a lifetime.
+    attempt: u32,
+    /// True once this logical connection reached `Ready` at least once;
+    /// distinguishes a retried *initial* connect (surfaces `Connected`)
+    /// from a true reconnect (surfaces `Reconnected` + recovery).
+    ever_connected: bool,
+    /// Publishes issued while reconnecting, drained on reconnect.
+    offline: Vec<(ProbeId, Message, bool)>,
+    /// Probes already surfaced to the listener; filters the duplicates a
+    /// resync can produce. Only populated when reconnect is enabled.
+    seen_probes: std::collections::HashSet<u64>,
 }
 
 enum TimerKind {
     PubRetry { conn: ConnId, seq: u64 },
     AckFlush { conn: ConnId },
+    Heartbeat { conn: ConnId },
+    ReconnectTry { conn: ConnId },
+    ReconnectDeadline { conn: ConnId, attempt: u32 },
 }
 
 /// A set of client connections owned by one host actor.
@@ -166,13 +213,31 @@ impl NaradaClientSet {
             conn,
             ConnState {
                 settings,
+                broker_ep,
                 phase: ConnPhase::Connecting,
                 next_pub_seq: 0,
                 pending_pubs: HashMap::new(),
                 recv: BTreeMap::new(),
                 ack_flush_armed: false,
+                subs: Vec::new(),
+                last_seen: ctx.now(),
+                attempt: 0,
+                ever_connected: false,
+                offline: Vec::new(),
+                seen_probes: std::collections::HashSet::new(),
             },
         );
+        // With recovery enabled, the *initial* connect gets the same
+        // deadline as a reconnect attempt: a Connect frame swallowed by a
+        // crashed broker must not strand the client in `Connecting`
+        // forever (it retries through the normal backoff machinery).
+        if let Some(policy) = settings.reconnect {
+            self.arm_timer(
+                ctx,
+                policy.detect_timeout,
+                TimerKind::ReconnectDeadline { conn, attempt: 0 },
+            );
+        }
         conn
     }
 
@@ -221,6 +286,15 @@ impl NaradaClientSet {
             },
         );
         let ack_mode = state.settings.ack_mode;
+        if state.settings.reconnect.is_some() {
+            state.subs.push(SubSpec {
+                sub_id,
+                topic: topic.clone(),
+                selector: selector.clone(),
+                queue,
+                needs_resync: false,
+            });
+        }
         let me = self.my_ep(ctx);
         let msg = ClientToBroker::Subscribe {
             sub_id,
@@ -273,7 +347,31 @@ impl NaradaClientSet {
             );
         });
         let state = self.conns.get_mut(&conn).expect("unknown connection");
+        if state.phase == ConnPhase::Connecting && state.settings.reconnect.is_some() {
+            // Broker presumed dead and a reconnect is in flight: buffer
+            // the publish; it is re-sent (delayed, not dropped) once the
+            // replacement connection comes up.
+            state.offline.push((probe, message, queue));
+            simfault::with_faults(ctx, |inj, _| inj.stats.delayed += 1);
+            return probe;
+        }
         assert_eq!(state.phase, ConnPhase::Ready, "publish before ConnectOk");
+        self.send_publish(ctx, conn, probe, message, queue);
+        probe
+    }
+
+    /// Assign a publish seq and put the message on the wire. Shared by the
+    /// normal publish path and the offline-buffer drain after reconnect.
+    fn send_publish(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        probe: ProbeId,
+        message: Message,
+        queue: bool,
+    ) {
+        let actor = ctx.self_id().index() as u64;
+        let state = self.conns.get_mut(&conn).expect("unknown connection");
         let seq = state.next_pub_seq;
         state.next_pub_seq += 1;
         let transport = state.settings.transport;
@@ -322,7 +420,6 @@ impl NaradaClientSet {
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
             net.send_at(ctx, conn, me, bytes, Box::new(pub_msg), ser_done);
         });
-        probe
     }
 
     /// Handle a network delivery addressed to the host actor. Returns the
@@ -341,12 +438,34 @@ impl NaradaClientSet {
         let Ok(b2c) = payload.downcast::<BrokerToClient>() else {
             return Vec::new();
         };
+        // Any broker frame counts as liveness for crash detection.
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.last_seen = ctx.now();
+        }
         let mut events = Vec::new();
         match *b2c {
             BrokerToClient::ConnectOk => {
-                if let Some(state) = self.conns.get_mut(&conn) {
-                    state.phase = ConnPhase::Ready;
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return events;
+                };
+                state.phase = ConnPhase::Ready;
+                let reconnect = state.settings.reconnect;
+                // A successful (re)connect refunds the attempt budget: the
+                // cap bounds one outage, not the connection's lifetime.
+                let was_reconnect = state.ever_connected && state.attempt > 0;
+                state.attempt = 0;
+                state.ever_connected = true;
+                if was_reconnect {
+                    events.push(ClientEvent::Reconnected(conn));
+                    simfault::with_faults(ctx, |inj, _| inj.stats.reconnects += 1);
+                    self.resubscribe_all(ctx, conn);
+                    self.republish_pending(ctx, conn);
+                    self.drain_offline(ctx, conn);
+                } else {
                     events.push(ClientEvent::Connected(conn));
+                }
+                if let Some(policy) = reconnect {
+                    self.arm_timer(ctx, policy.ping_interval, TimerKind::Heartbeat { conn });
                 }
             }
             BrokerToClient::ConnectRefused { reason } => {
@@ -357,7 +476,27 @@ impl NaradaClientSet {
             }
             BrokerToClient::SubscribeOk { sub_id } => {
                 events.push(ClientEvent::Subscribed(conn, sub_id));
+                let me = self.my_ep(ctx);
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    if let Some(spec) = state.subs.iter_mut().find(|s| s.sub_id == sub_id) {
+                        if spec.needs_resync {
+                            // Re-subscribe confirmed: ask the broker to
+                            // replay this subscription's stable log.
+                            spec.needs_resync = false;
+                            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                                net.send(
+                                    ctx,
+                                    conn,
+                                    me,
+                                    CONTROL_FRAME_BYTES,
+                                    Box::new(ClientToBroker::Resync { sub_id }),
+                                );
+                            });
+                        }
+                    }
+                }
             }
+            BrokerToClient::Pong => {}
             BrokerToClient::PublishAck { seq } => {
                 if let Some(state) = self.conns.get_mut(&conn) {
                     if let Some(p) = state.pending_pubs.remove(&seq) {
@@ -413,25 +552,33 @@ impl NaradaClientSet {
                 recv.dirty = true;
                 let transport = state.settings.transport;
                 let ack_mode = state.settings.ack_mode;
+                // A resync after reconnect re-delivers under a fresh seq
+                // space; dedup those by probe (reconnect-enabled only, so
+                // the paper-mode hot path stays untouched).
+                let fresh = state.settings.reconnect.is_none() || state.seen_probes.insert(probe.0);
 
                 // Listener callback: deserialize + user code.
-                ctx.service_mut::<RttCollector>()
-                    .before_receiving(probe, now);
+                if fresh {
+                    ctx.service_mut::<RttCollector>()
+                        .before_receiving(probe, now);
+                }
                 let done = self.cpu(ctx, self.deliver_cost(bytes));
-                ctx.service_mut::<RttCollector>()
-                    .after_receiving(probe, done);
-                let actor = ctx.self_id().index() as u64;
-                simtrace::with_trace(ctx, |tr, _| {
-                    let id = Some(simtrace::TraceId(probe.0));
-                    tr.record(now, id, actor, simtrace::EventKind::Available);
-                    tr.record(done, id, actor, simtrace::EventKind::Delivered);
-                });
-                events.push(ClientEvent::MessageArrived {
-                    conn,
-                    sub_id,
-                    probe,
-                    done_at: done,
-                });
+                if fresh {
+                    ctx.service_mut::<RttCollector>()
+                        .after_receiving(probe, done);
+                    let actor = ctx.self_id().index() as u64;
+                    simtrace::with_trace(ctx, |tr, _| {
+                        let id = Some(simtrace::TraceId(probe.0));
+                        tr.record(now, id, actor, simtrace::EventKind::Available);
+                        tr.record(done, id, actor, simtrace::EventKind::Delivered);
+                    });
+                    events.push(ClientEvent::MessageArrived {
+                        conn,
+                        sub_id,
+                        probe,
+                        done_at: done,
+                    });
+                }
 
                 // Acknowledgements (UDP reliability layer).
                 if transport == Transport::Udp {
@@ -462,7 +609,7 @@ impl NaradaClientSet {
         match kind {
             TimerKind::PubRetry { conn, seq } => {
                 let max_retries = self.cfg.udp.max_retries;
-                let timeout = self.cfg.udp.ack_timeout;
+                let mut timeout = self.cfg.udp.ack_timeout;
                 let Some(state) = self.conns.get_mut(&conn) else {
                     return Vec::new();
                 };
@@ -470,9 +617,30 @@ impl NaradaClientSet {
                     return Vec::new(); // acked meanwhile
                 };
                 if p.retries >= max_retries {
-                    let probe = p.probe;
-                    state.pending_pubs.remove(&seq);
-                    return vec![ClientEvent::PublishAbandoned { conn, probe }];
+                    match state.settings.reconnect {
+                        Some(policy) if state.phase == ConnPhase::Ready => {
+                            if ctx.now().saturating_since(state.last_seen) > policy.detect_timeout {
+                                // Liveness failure: keep the pending
+                                // publish (republished after reconnect)
+                                // and fail over.
+                                return self.begin_reconnect(ctx, conn);
+                            }
+                            // The broker was heard from inside the
+                            // liveness window: a late publish-ack is
+                            // congestion, not a crash. Failing over here
+                            // feeds a reconnect storm (every reconnect
+                            // republishes its pendings, adding more load
+                            // and more late acks); retransmit at a
+                            // gentler cadence instead and let the
+                            // silence detector decide about the broker.
+                            timeout = timeout.saturating_mul(4);
+                        }
+                        _ => {
+                            let probe = p.probe;
+                            state.pending_pubs.remove(&seq);
+                            return vec![ClientEvent::PublishAbandoned { conn, probe }];
+                        }
+                    }
                 }
                 p.retries += 1;
                 let probe = p.probe;
@@ -519,6 +687,231 @@ impl NaradaClientSet {
                 self.flush_acks(ctx, conn, now);
                 Vec::new()
             }
+            TimerKind::Heartbeat { conn } => {
+                let Some(state) = self.conns.get(&conn) else {
+                    return Vec::new(); // conn replaced or closed
+                };
+                let Some(policy) = state.settings.reconnect else {
+                    return Vec::new();
+                };
+                if state.phase != ConnPhase::Ready {
+                    return Vec::new();
+                }
+                if ctx.now().saturating_since(state.last_seen) > policy.detect_timeout {
+                    return self.begin_reconnect(ctx, conn);
+                }
+                let me = self.my_ep(ctx);
+                ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                    net.send(
+                        ctx,
+                        conn,
+                        me,
+                        CONTROL_FRAME_BYTES,
+                        Box::new(ClientToBroker::Ping),
+                    );
+                });
+                self.arm_timer(ctx, policy.ping_interval, TimerKind::Heartbeat { conn });
+                Vec::new()
+            }
+            TimerKind::ReconnectTry { conn } => self.begin_reconnect(ctx, conn),
+            TimerKind::ReconnectDeadline { conn, attempt } => {
+                let Some(state) = self.conns.get(&conn) else {
+                    return Vec::new();
+                };
+                if state.phase != ConnPhase::Connecting || state.attempt != attempt {
+                    return Vec::new(); // connected meanwhile or superseded
+                }
+                let policy = state.settings.reconnect.expect("reconnecting conn");
+                if attempt >= policy.max_attempts {
+                    // Give up for good; everything unflushed is lost. Say
+                    // goodbye so a slow-but-alive broker frees the thread.
+                    let me = self.my_ep(ctx);
+                    ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                        net.send(
+                            ctx,
+                            conn,
+                            me,
+                            CONTROL_FRAME_BYTES,
+                            Box::new(ClientToBroker::Disconnect),
+                        );
+                    });
+                    let state = self.conns.remove(&conn).expect("checked above");
+                    let mut events = vec![ClientEvent::ConnectionLost(conn)];
+                    let mut seqs: Vec<u64> = state.pending_pubs.keys().copied().collect();
+                    seqs.sort_unstable();
+                    for seq in seqs {
+                        let probe = state.pending_pubs[&seq].probe;
+                        events.push(ClientEvent::PublishAbandoned { conn, probe });
+                    }
+                    for (probe, _, _) in &state.offline {
+                        events.push(ClientEvent::PublishAbandoned {
+                            conn,
+                            probe: *probe,
+                        });
+                    }
+                    return events;
+                }
+                // Exponential backoff with equal jitter before the next
+                // attempt. The jitter de-synchronizes the reconnect herd
+                // after a broker restart: hundreds of clients detect the
+                // crash within one ping interval of each other, and
+                // identical backoff schedules would slam the recovering
+                // broker with simultaneous Connects, pushing ConnectOk
+                // latency past the attempt deadline for everyone.
+                let shift = (attempt.saturating_sub(1)).min(20);
+                let base = policy
+                    .backoff_initial
+                    .saturating_mul(1u64 << shift)
+                    .min(policy.backoff_max);
+                let backoff = base / 2 + ctx.rng().duration_between(SimDuration::ZERO, base / 2);
+                self.arm_timer(ctx, backoff, TimerKind::ReconnectTry { conn });
+                Vec::new()
+            }
+        }
+    }
+
+    /// Abandon `old` and open a replacement connection to the same broker
+    /// endpoint, carrying over subscriptions, pending publishes and the
+    /// offline buffer. Receive state resets: the restarted broker assigns
+    /// delivery seqs from scratch.
+    fn begin_reconnect(&mut self, ctx: &mut Context<'_>, old: ConnId) -> Vec<ClientEvent> {
+        let Some(mut state) = self.conns.remove(&old) else {
+            return Vec::new();
+        };
+        let Some(policy) = state.settings.reconnect else {
+            self.conns.insert(old, state);
+            return Vec::new();
+        };
+        state.attempt += 1;
+        state.phase = ConnPhase::Connecting;
+        state.ack_flush_armed = false;
+        // Best-effort goodbye on the abandoned connection: if the broker
+        // is actually up (slow, not dead), this frees its service thread.
+        // Without it every superseded connect attempt leaks a broker
+        // thread and the reconnect herd exhausts the accept capacity.
+        let me = self.my_ep(ctx);
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send(
+                ctx,
+                old,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Disconnect),
+            );
+        });
+        for recv in state.recv.values_mut() {
+            recv.cumulative = None;
+            recv.out_of_order.clear();
+            recv.dirty = false;
+        }
+        simfault::with_faults(ctx, |inj, _| inj.stats.reconnect_attempts += 1);
+        let broker_ep = state.broker_ep;
+        let transport = state.settings.transport;
+        let new = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            let c = net.open(ctx.now(), transport, me, broker_ep);
+            net.send(
+                ctx,
+                c,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Connect),
+            );
+            c
+        });
+        let attempt = state.attempt;
+        self.conns.insert(new, state);
+        self.arm_timer(
+            ctx,
+            policy.detect_timeout,
+            TimerKind::ReconnectDeadline { conn: new, attempt },
+        );
+        vec![ClientEvent::Reconnecting { old, new }]
+    }
+
+    /// Re-create every subscription of a reconnected connection, flagging
+    /// CLIENT-ack UDP topic subs for a stable-storage resync.
+    fn resubscribe_all(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        let me = self.my_ep(ctx);
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let ack_mode = state.settings.ack_mode;
+        let transport = state.settings.transport;
+        let durable = transport == Transport::Udp && ack_mode == AckMode::Client;
+        let ConnState { subs, recv, .. } = state;
+        let mut msgs = Vec::new();
+        for spec in subs.iter_mut() {
+            spec.needs_resync = durable && !spec.queue;
+            recv.insert(
+                spec.sub_id,
+                SubRecv {
+                    cumulative: None,
+                    out_of_order: BTreeSet::new(),
+                    dirty: false,
+                },
+            );
+            msgs.push(ClientToBroker::Subscribe {
+                sub_id: spec.sub_id,
+                topic: spec.topic.clone(),
+                selector: spec.selector.clone(),
+                ack_mode,
+                queue: spec.queue,
+            });
+        }
+        for msg in msgs {
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send(ctx, conn, me, CONTROL_FRAME_BYTES + 64, Box::new(msg));
+            });
+        }
+    }
+
+    /// Re-send every still-unacked UDP publish on a reconnected
+    /// connection, keeping the original seqs (the broker's dup filter
+    /// reset with the crash).
+    fn republish_pending(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        let Some(state) = self.conns.get(&conn) else {
+            return;
+        };
+        let mut seqs: Vec<u64> = state.pending_pubs.keys().copied().collect();
+        seqs.sort_unstable();
+        let n = seqs.len() as u64;
+        for seq in seqs {
+            let timeout = self.cfg.udp.ack_timeout;
+            let timer = self.arm_timer(ctx, timeout, TimerKind::PubRetry { conn, seq });
+            let state = self.conns.get_mut(&conn).expect("still here");
+            let p = state.pending_pubs.get_mut(&seq).expect("listed above");
+            p.retries = 0;
+            p.timer = timer;
+            let probe = p.probe;
+            let message = p.message.clone();
+            let queue = p.queue;
+            let bytes = publish_bytes(&message);
+            let done = self.cpu(ctx, self.cfg.costs.client_serialize_base);
+            let me = self.my_ep(ctx);
+            let msg = ClientToBroker::Publish {
+                probe,
+                seq,
+                message,
+                retransmit: true,
+                queue,
+            };
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, conn, me, bytes, Box::new(msg), done);
+            });
+        }
+        if n > 0 {
+            simfault::with_faults(ctx, |inj, _| inj.stats.republished += n);
+        }
+    }
+
+    /// Drain the offline publish buffer of a reconnected connection.
+    fn drain_offline(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let offline = std::mem::take(&mut state.offline);
+        for (probe, message, queue) in offline {
+            self.send_publish(ctx, conn, probe, message, queue);
         }
     }
 

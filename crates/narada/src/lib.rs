@@ -24,6 +24,6 @@ pub mod protocol;
 
 pub use broker::{Broker, BrokerControl, BrokerStats, StatsHandle};
 pub use client::{ClientEvent, ClientTimer, NaradaClientSet};
-pub use config::{ConnSettings, CostModel, NaradaConfig, UdpReliability};
+pub use config::{ConnSettings, CostModel, NaradaConfig, ReconnectPolicy, UdpReliability};
 pub use matching::{MatchedDelivery, MatchingEngine, Subscription};
 pub use network::{BrokerDiscoveryNode, BrokerList, BrokerNetwork, DiscoverBrokers};

@@ -222,6 +222,32 @@ impl MatchingEngine {
         }
         (out, cost)
     }
+
+    /// Hand out the next delivery sequence for one subscription without
+    /// matching a message — used when the broker re-injects messages from
+    /// stable storage during a post-restart resync. `None` if the
+    /// subscription does not exist.
+    pub fn assign_seq(&mut self, conn: ConnId, sub_id: u32) -> Option<u64> {
+        for subs in self.by_topic.values_mut() {
+            for sub in subs.iter_mut() {
+                if sub.conn == conn && sub.sub_id == sub_id {
+                    let seq = sub.next_seq;
+                    sub.next_seq += 1;
+                    return Some(seq);
+                }
+            }
+        }
+        for (subs, _) in self.by_queue.values_mut() {
+            for sub in subs.iter_mut() {
+                if sub.conn == conn && sub.sub_id == sub_id {
+                    let seq = sub.next_seq;
+                    sub.next_seq += 1;
+                    return Some(seq);
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,16 @@ pub enum ClientToBroker {
         /// Individually acked out-of-order sequences beyond it.
         extra: Vec<u64>,
     },
+    /// Liveness probe sent by reconnect-enabled clients; a broker that is
+    /// up answers [`BrokerToClient::Pong`], a crashed one stays silent.
+    Ping,
+    /// After reconnecting, a CLIENT-ack subscriber asks the broker to
+    /// re-deliver everything its crashed predecessor left unacknowledged
+    /// in stable storage for this subscription.
+    Resync {
+        /// Id of the (re-created) subscription to resync.
+        sub_id: u32,
+    },
 }
 
 /// Broker → client.
@@ -95,6 +105,8 @@ pub enum BrokerToClient {
         /// True if this is a retransmission.
         retransmit: bool,
     },
+    /// Liveness answer to [`ClientToBroker::Ping`].
+    Pong,
 }
 
 /// Broker → broker (the Broker Network Map layer).

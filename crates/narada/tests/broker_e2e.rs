@@ -158,6 +158,10 @@ impl Actor for Driver {
                         ClientEvent::PublishAbandoned { .. } => {
                             self.shared.borrow_mut().abandoned += 1;
                         }
+                        // Reconnect machinery is off (reconnect: None).
+                        ClientEvent::Reconnecting { .. }
+                        | ClientEvent::Reconnected(_)
+                        | ClientEvent::ConnectionLost(_) => unreachable!("reconnect disabled"),
                     }
                 }
                 return;
@@ -281,6 +285,7 @@ fn udp_publish_is_slower_than_tcp() {
     let udp = ConnSettings {
         transport: Transport::Udp,
         ack_mode: AckMode::Auto,
+        reconnect: None,
     };
     let (udp_sim, shared) = single_broker_run(udp, "", 20, quiet_fabric());
     assert_eq!(shared.borrow().arrived, 20, "no loss at p=0");
@@ -301,6 +306,7 @@ fn nio_slightly_slower_than_tcp() {
     let nio = ConnSettings {
         transport: Transport::Nio,
         ack_mode: AckMode::Auto,
+        reconnect: None,
     };
     let (nio_sim, shared) = single_broker_run(nio, "", 20, quiet_fabric());
     assert_eq!(shared.borrow().arrived, 20);
@@ -325,6 +331,7 @@ fn udp_loss_surfaces_in_summary() {
     let udp = ConnSettings {
         transport: Transport::Udp,
         ack_mode: AckMode::Auto,
+        reconnect: None,
     };
     let (sim, _) = single_broker_run(udp, "", 200, fabric);
     let s = sim.service::<RttCollector>().unwrap().summary();
@@ -343,11 +350,13 @@ fn client_ack_recovers_losses() {
     let cli = ConnSettings {
         transport: Transport::Udp,
         ack_mode: AckMode::Client,
+        reconnect: None,
     };
     let (cli_sim, _) = single_broker_run(cli, "", 200, fabric.clone());
     let auto = ConnSettings {
         transport: Transport::Udp,
         ack_mode: AckMode::Auto,
+        reconnect: None,
     };
     let (auto_sim, _) = single_broker_run(auto, "", 200, fabric);
     let cli = cli_sim.service::<RttCollector>().unwrap().summary();

@@ -59,6 +59,7 @@ impl Actor for Host {
         let settings = ConnSettings {
             transport: self.scenario.transport,
             ack_mode: jms::AckMode::Auto,
+            reconnect: None,
         };
         let mut set = NaradaClientSet::new(NaradaConfig::v1_1_3(), NodeId(1));
         for i in 0..self.scenario.sub_bounds.len() {

@@ -26,6 +26,10 @@ pub struct FleetStats {
     pub abandoned: u64,
     /// Messages received (subscriber side).
     pub received: u64,
+    /// Successful broker reconnections (fault campaigns only).
+    pub reconnects: u32,
+    /// Connections lost for good after exhausting reconnect attempts.
+    pub lost: u32,
 }
 
 /// Shared handle to fleet statistics.
@@ -98,6 +102,32 @@ impl NaradaFleet {
     pub fn stats_handle(&self) -> FleetStatsHandle {
         self.stats.clone()
     }
+
+    /// Fleet bookkeeping shared between the timer and delivery paths:
+    /// remap generator connections across reconnects and count losses.
+    fn note_event(&mut self, ev: &ClientEvent) {
+        match ev {
+            ClientEvent::Reconnecting { old, new } => {
+                if let Some(ix) = self.gen_of_conn.remove(old) {
+                    self.conn_of[ix] = Some(*new);
+                    self.gen_of_conn.insert(*new, ix);
+                }
+            }
+            ClientEvent::Reconnected(_) => {
+                self.stats.borrow_mut().reconnects += 1;
+            }
+            ClientEvent::ConnectionLost(conn) => {
+                if let Some(ix) = self.gen_of_conn.remove(conn) {
+                    self.conn_of[ix] = None;
+                }
+                self.stats.borrow_mut().lost += 1;
+            }
+            ClientEvent::PublishAbandoned { .. } => {
+                self.stats.borrow_mut().abandoned += 1;
+            }
+            _ => {}
+        }
+    }
 }
 
 impl Actor for NaradaFleet {
@@ -164,10 +194,9 @@ impl Actor for NaradaFleet {
         let msg = match msg.downcast::<ClientTimer>() {
             Ok(t) => {
                 let set = self.set.as_mut().expect("started");
-                for ev in set.handle_timer(ctx, *t) {
-                    if matches!(ev, ClientEvent::PublishAbandoned { .. }) {
-                        self.stats.borrow_mut().abandoned += 1;
-                    }
+                let events = set.handle_timer(ctx, *t);
+                for ev in events {
+                    self.note_event(&ev);
                 }
                 return;
             }
@@ -192,13 +221,16 @@ impl Actor for NaradaFleet {
                             );
                         }
                     }
-                    ClientEvent::Refused(_, _) => {
+                    ClientEvent::Refused(conn, _) => {
+                        // A refused *re*connect attempt still holds the
+                        // generator's conn slot; clear it so publish ticks
+                        // stop instead of publishing into a dead handle.
+                        if let Some(ix) = self.gen_of_conn.remove(&conn) {
+                            self.conn_of[ix] = None;
+                        }
                         self.stats.borrow_mut().refused += 1;
                     }
-                    ClientEvent::PublishAbandoned { .. } => {
-                        self.stats.borrow_mut().abandoned += 1;
-                    }
-                    _ => {}
+                    ev => self.note_event(&ev),
                 }
             }
         }
@@ -244,6 +276,40 @@ impl NaradaSubscriber {
     pub fn stats_handle(&self) -> FleetStatsHandle {
         self.stats.clone()
     }
+
+    /// React to client events from either the timer or the delivery path.
+    /// The subscriber is the experiment's measurement tap, so it never
+    /// stays down: if the client library exhausts its reconnect budget,
+    /// the host bootstraps a fresh connection from scratch — exactly what
+    /// a monitoring operator (or an `ExceptionListener` restart loop)
+    /// would do.
+    fn note_events(&mut self, ctx: &mut Context<'_>, events: Vec<ClientEvent>) {
+        let mut rebootstrap = false;
+        for ev in events {
+            match ev {
+                ClientEvent::Connected(conn) => {
+                    let selector = self.selector.clone();
+                    let set = self.set.as_mut().expect("started");
+                    set.subscribe(ctx, conn, 0, TOPIC, selector);
+                }
+                ClientEvent::MessageArrived { .. } => {
+                    self.stats.borrow_mut().received += 1;
+                }
+                ClientEvent::Reconnected(_) => {
+                    self.stats.borrow_mut().reconnects += 1;
+                }
+                ClientEvent::ConnectionLost(_) => {
+                    self.stats.borrow_mut().lost += 1;
+                    rebootstrap = true;
+                }
+                _ => {}
+            }
+        }
+        if rebootstrap {
+            let set = self.set.as_mut().expect("started");
+            set.connect(ctx, self.broker_ep, self.settings);
+        }
+    }
 }
 
 impl Actor for NaradaSubscriber {
@@ -257,25 +323,16 @@ impl Actor for NaradaSubscriber {
         let set = self.set.as_mut().expect("started");
         let msg = match msg.downcast::<ClientTimer>() {
             Ok(t) => {
-                set.handle_timer(ctx, *t);
+                // Reconnects re-subscribe internally; only count outcomes.
+                let events = set.handle_timer(ctx, *t);
+                self.note_events(ctx, events);
                 return;
             }
             Err(m) => m,
         };
         if let Ok(d) = msg.downcast::<Delivery>() {
-            for ev in set.handle_delivery(ctx, *d) {
-                match ev {
-                    ClientEvent::Connected(conn) => {
-                        let selector = self.selector.clone();
-                        let set = self.set.as_mut().expect("started");
-                        set.subscribe(ctx, conn, 0, TOPIC, selector);
-                    }
-                    ClientEvent::MessageArrived { .. } => {
-                        self.stats.borrow_mut().received += 1;
-                    }
-                    _ => {}
-                }
-            }
+            let events = set.handle_delivery(ctx, *d);
+            self.note_events(ctx, events);
         }
     }
 

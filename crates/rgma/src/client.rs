@@ -65,12 +65,33 @@ enum ReqPurpose {
 struct ProducerState {
     conn: ConnId,
     server: Option<ProducerId>,
+    table: String,
+    /// CreateProducer retries spent (5xx retry policy).
+    create_retries: u32,
 }
 
 struct SubscriberState {
     conn: ConnId,
     server: Option<ConsumerId>,
     polling: bool,
+}
+
+/// Everything needed to retry a synchronous insert with the same probe.
+struct InsertInfo {
+    sql: String,
+    probe: telemetry::ProbeId,
+    retries: u32,
+}
+
+enum TimerPurpose {
+    Poll(SubscriberHandle),
+    InsertRetry {
+        handle: ProducerHandle,
+        sql: String,
+        probe: telemetry::ProbeId,
+        retries: u32,
+    },
+    CreateRetry(ProducerHandle),
 }
 
 /// A set of R-GMA client endpoints owned by one host actor.
@@ -81,11 +102,20 @@ pub struct RgmaClientSet {
     subscribers: HashMap<SubscriberHandle, SubscriberState>,
     next_handle: u32,
     pending: HashMap<u64, ReqPurpose>,
-    /// Outstanding insert probes by request id.
-    insert_probes: HashMap<u64, telemetry::ProbeId>,
-    timers: HashMap<u64, SubscriberHandle>,
+    /// Outstanding inserts by request id (probe + retry budget).
+    insert_info: HashMap<u64, InsertInfo>,
+    timers: HashMap<u64, TimerPurpose>,
     next_req: u64,
     next_timer: u64,
+}
+
+/// Exponential backoff for the `retries`-th retry.
+fn http_backoff(policy: &crate::config::HttpRetryPolicy, retries: u32) -> SimDuration {
+    let shift = retries.min(20);
+    policy
+        .backoff_initial
+        .saturating_mul(1u64 << shift)
+        .min(policy.backoff_max)
 }
 
 impl RgmaClientSet {
@@ -98,7 +128,7 @@ impl RgmaClientSet {
             subscribers: HashMap::new(),
             next_handle: 0,
             pending: HashMap::new(),
-            insert_probes: HashMap::new(),
+            insert_info: HashMap::new(),
             timers: HashMap::new(),
             next_req: 0,
             next_timer: 0,
@@ -126,17 +156,35 @@ impl RgmaClientSet {
     ) -> ProducerHandle {
         let handle = ProducerHandle(self.next_handle);
         self.next_handle += 1;
+        let table: String = table.into();
         let me = self.my_ep(ctx);
         let conn = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
             net.open(ctx.now(), Transport::Http, me, servlet_ep)
         });
-        self.producers
-            .insert(handle, ProducerState { conn, server: None });
+        self.producers.insert(
+            handle,
+            ProducerState {
+                conn,
+                server: None,
+                table,
+                create_retries: 0,
+            },
+        );
+        self.send_create(ctx, handle);
+        handle
+    }
+
+    /// (Re-)send the CreateProducer request for `handle` on its conn.
+    fn send_create(&mut self, ctx: &mut Context<'_>, handle: ProducerHandle) {
+        let Some(state) = self.producers.get(&handle) else {
+            return;
+        };
+        let conn = state.conn;
+        let table = state.table.clone();
+        let me = self.my_ep(ctx);
         let rid = self.req_id();
         self.pending.insert(rid, ReqPurpose::CreateProducer(handle));
-        let body = ProducerRequest::CreateProducer {
-            table: table.into(),
-        };
+        let body = ProducerRequest::CreateProducer { table };
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
             http::send_request(
                 net,
@@ -149,7 +197,6 @@ impl RgmaClientSet {
                 Box::new(body),
             );
         });
-        handle
     }
 
     /// Insert one tuple as a full SQL text. Instruments
@@ -172,6 +219,19 @@ impl RgmaClientSet {
                 simtrace::EventKind::PublishBegin,
             );
         });
+        self.send_insert(ctx, handle, sql, probe, 0);
+        probe
+    }
+
+    /// Send (or retry) an insert carrying `probe`.
+    fn send_insert(
+        &mut self,
+        ctx: &mut Context<'_>,
+        handle: ProducerHandle,
+        sql: String,
+        probe: telemetry::ProbeId,
+        retries: u32,
+    ) {
         let state = self.producers.get(&handle).expect("unknown producer");
         let server = state
             .server
@@ -184,7 +244,14 @@ impl RgmaClientSet {
             ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), client_cost));
         let rid = self.req_id();
         self.pending.insert(rid, ReqPurpose::Insert(handle));
-        self.insert_probes.insert(rid, probe);
+        self.insert_info.insert(
+            rid,
+            InsertInfo {
+                sql: sql.clone(),
+                probe,
+                retries,
+            },
+        );
         let bytes = sql.len();
         let me = self.my_ep(ctx);
         let body = ProducerRequest::Insert {
@@ -207,7 +274,6 @@ impl RgmaClientSet {
                 done,
             );
         });
-        probe
     }
 
     /// Issue a one-time latest/history query against a Consumer servlet
@@ -314,11 +380,15 @@ impl RgmaClientSet {
         });
     }
 
-    fn arm_poll(&mut self, ctx: &mut Context<'_>, handle: SubscriberHandle) {
+    fn arm_timer(&mut self, ctx: &mut Context<'_>, delay: SimDuration, purpose: TimerPurpose) {
         let token = self.next_timer;
         self.next_timer += 1;
-        self.timers.insert(token, handle);
-        ctx.timer(self.cfg.poll_period, RgmaTimer(token));
+        self.timers.insert(token, purpose);
+        ctx.timer(delay, RgmaTimer(token));
+    }
+
+    fn arm_poll(&mut self, ctx: &mut Context<'_>, handle: SubscriberHandle) {
+        self.arm_timer(ctx, self.cfg.poll_period, TimerPurpose::Poll(handle));
     }
 
     /// Handle a network delivery addressed to the host actor.
@@ -345,7 +415,24 @@ impl RgmaClientSet {
                         events.push(RgmaEvent::ProducerReady(handle));
                     }
                     ProducerResponse::Error { reason } => {
-                        events.push(RgmaEvent::ProducerFailed(handle, reason));
+                        // Transient server failure (stall / OOM): retry
+                        // with backoff when the policy allows it.
+                        let retriable = status >= 500
+                            && self.cfg.insert_retry.is_some_and(|p| {
+                                self.producers
+                                    .get(&handle)
+                                    .is_some_and(|s| s.create_retries < p.max_retries)
+                            });
+                        if retriable {
+                            let policy = self.cfg.insert_retry.expect("checked");
+                            let s = self.producers.get_mut(&handle).expect("checked");
+                            let delay = http_backoff(&policy, s.create_retries);
+                            s.create_retries += 1;
+                            simfault::with_faults(ctx, |inj, _| inj.stats.http_retries += 1);
+                            self.arm_timer(ctx, delay, TimerPurpose::CreateRetry(handle));
+                        } else {
+                            events.push(RgmaEvent::ProducerFailed(handle, reason));
+                        }
                     }
                     _ => {}
                 },
@@ -355,12 +442,13 @@ impl RgmaClientSet {
                 )),
             },
             ReqPurpose::Insert(handle) => {
-                let probe = self.insert_probes.remove(&req_id);
+                let info = self.insert_info.remove(&req_id);
                 match body.downcast::<ProducerResponse>() {
                     Ok(r) => match *r {
                         ProducerResponse::InsertOk => {
-                            if let Some(probe) = probe {
+                            if let Some(info) = info {
                                 // The synchronous insert() has returned.
+                                let probe = info.probe;
                                 let now = ctx.now();
                                 ctx.service_mut::<RttCollector>().after_sending(probe, now);
                                 let actor = ctx.self_id().index() as u64;
@@ -375,7 +463,29 @@ impl RgmaClientSet {
                             }
                         }
                         ProducerResponse::Error { reason } => {
-                            events.push(RgmaEvent::InsertFailed(handle, reason));
+                            let retriable = status >= 500
+                                && info.is_some()
+                                && self.cfg.insert_retry.is_some_and(|p| {
+                                    info.as_ref().expect("checked").retries < p.max_retries
+                                });
+                            if retriable {
+                                let policy = self.cfg.insert_retry.expect("checked");
+                                let info = info.expect("checked");
+                                let delay = http_backoff(&policy, info.retries);
+                                simfault::with_faults(ctx, |inj, _| inj.stats.http_retries += 1);
+                                self.arm_timer(
+                                    ctx,
+                                    delay,
+                                    TimerPurpose::InsertRetry {
+                                        handle,
+                                        sql: info.sql,
+                                        probe: info.probe,
+                                        retries: info.retries + 1,
+                                    },
+                                );
+                            } else {
+                                events.push(RgmaEvent::InsertFailed(handle, reason));
+                            }
                         }
                         _ => {}
                     },
@@ -448,10 +558,36 @@ impl RgmaClientSet {
         events
     }
 
-    /// Handle a poll timer.
+    /// Handle a poll or retry timer.
     pub fn handle_timer(&mut self, ctx: &mut Context<'_>, timer: RgmaTimer) {
-        if let Some(handle) = self.timers.remove(&timer.0) {
-            self.send_poll(ctx, handle);
+        let Some(purpose) = self.timers.remove(&timer.0) else {
+            return;
+        };
+        match purpose {
+            TimerPurpose::Poll(handle) => self.send_poll(ctx, handle),
+            TimerPurpose::InsertRetry {
+                handle,
+                sql,
+                probe,
+                retries,
+            } => {
+                simtrace::with_trace(ctx, |tr, _| {
+                    tr.count(simtrace::Counter::Retries, 1);
+                });
+                if self
+                    .producers
+                    .get(&handle)
+                    .is_some_and(|s| s.server.is_some())
+                {
+                    self.send_insert(ctx, handle, sql, probe, retries);
+                }
+            }
+            TimerPurpose::CreateRetry(handle) => {
+                simtrace::with_trace(ctx, |tr, _| {
+                    tr.count(simtrace::Counter::Retries, 1);
+                });
+                self.send_create(ctx, handle);
+            }
         }
     }
 

@@ -72,6 +72,29 @@ impl Default for RgmaMemory {
     }
 }
 
+/// Client-side HTTP retry policy for 5xx responses (producer creates and
+/// inserts). `None` (the default) reproduces the paper's fail-fast
+/// clients exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpRetryPolicy {
+    /// First retry backoff step.
+    pub backoff_initial: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_max: SimDuration,
+    /// Maximum retries before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for HttpRetryPolicy {
+    fn default() -> Self {
+        HttpRetryPolicy {
+            backoff_initial: SimDuration::from_millis(500),
+            backoff_max: SimDuration::from_secs(8),
+            max_retries: 6,
+        }
+    }
+}
+
 /// Full R-GMA deployment configuration.
 #[derive(Debug, Clone)]
 pub struct RgmaConfig {
@@ -103,6 +126,13 @@ pub struct RgmaConfig {
     /// The Secondary Producer's deliberate batch delay (confirmed as 30 s
     /// by the R-GMA developers in §III.F.3).
     pub secondary_flush: SimDuration,
+    /// Client-side retry policy for 5xx responses (`None` = fail fast,
+    /// the paper behaviour).
+    pub insert_retry: Option<HttpRetryPolicy>,
+    /// Soft-state refresh: servlets re-register their instances with the
+    /// registry at this period, so a restarted (wiped) registry re-learns
+    /// them. `None` (default) = registrations are fire-and-forget.
+    pub soft_state_refresh: Option<SimDuration>,
 }
 
 impl Default for RgmaConfig {
@@ -118,6 +148,8 @@ impl Default for RgmaConfig {
             latest_retention: SimDuration::from_secs(30),
             history_retention: SimDuration::from_secs(60),
             secondary_flush: SimDuration::from_secs(30),
+            insert_retry: None,
+            soft_state_refresh: None,
         }
     }
 }
@@ -149,5 +181,11 @@ mod tests {
         assert_eq!(c.history_retention, SimDuration::from_secs(60));
         assert_eq!(c.secondary_flush, SimDuration::from_secs(30));
         assert!(RgmaConfig::no_secondary_delay().secondary_flush < SimDuration::from_secs(1));
+        // Fault-tolerance layers are strictly opt-in.
+        assert_eq!(c.insert_retry, None);
+        assert_eq!(c.soft_state_refresh, None);
+        let p = HttpRetryPolicy::default();
+        assert!(p.backoff_max >= p.backoff_initial);
+        assert!(p.max_retries >= 1);
     }
 }

@@ -236,7 +236,10 @@ impl ConsumerServlet {
             },
         );
         let done = self.cpu(ctx, self.cfg.costs.create_instance);
-        // Kick an immediate mediation pass for this instance.
+        // Announce the consumer to the registry (soft-state mode only),
+        // then kick an immediate mediation pass for this instance.
+        let table = self.instances[&cid].table.clone();
+        self.register_interest(ctx, table);
         self.lookup_for(ctx, cid);
         self.respond_at(
             ctx,
@@ -606,9 +609,45 @@ impl ConsumerServlet {
         );
     }
 
+    /// Register this servlet's interest in `table` with the registry
+    /// (GMA consumer registration). Only sent when the soft-state refresh
+    /// is enabled; re-sent every mediation cycle so a restarted registry
+    /// re-learns the consumer — the registry dedups live entries.
+    fn register_interest(&mut self, ctx: &mut Context<'_>, table: String) {
+        if self.cfg.soft_state_refresh.is_none() {
+            return;
+        }
+        let me = self.endpoint;
+        let conn = self.registry_conn.expect("opened on start");
+        let rid = self.next_req;
+        self.next_req += 1;
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            http::send_request(
+                net,
+                ctx,
+                conn,
+                me,
+                rid,
+                "/registry/register-consumer",
+                96,
+                Box::new(RegistryRequest::RegisterConsumer {
+                    table,
+                    endpoint: me,
+                }),
+            );
+        });
+    }
+
     fn on_plan_tick(&mut self, ctx: &mut Context<'_>) {
         let mut cids: Vec<ConsumerId> = self.instances.keys().copied().collect();
         cids.sort_unstable();
+        if self.cfg.soft_state_refresh.is_some() {
+            let tables: std::collections::BTreeSet<String> =
+                self.instances.values().map(|i| i.table.clone()).collect();
+            for table in tables {
+                self.register_interest(ctx, table);
+            }
+        }
         for cid in cids {
             self.lookup_for(ctx, cid);
         }
@@ -693,6 +732,26 @@ impl Actor for ConsumerServlet {
             return;
         };
         let HttpRequest { req_id, body, .. } = *req;
+        // Fault injection: a stalled servlet answers 503 without work.
+        if simfault::node_stalled(ctx, self.node) {
+            simfault::with_faults(ctx, |inj, _| inj.stats.stall_rejections += 1);
+            simtrace::with_trace(ctx, |tr, _| {
+                tr.count(simtrace::Counter::FaultRejections, 1);
+            });
+            let now = ctx.now();
+            self.respond_at(
+                ctx,
+                conn,
+                req_id,
+                503,
+                64,
+                ConsumerResponse::Error {
+                    reason: "servlet stalled".into(),
+                },
+                now,
+            );
+            return;
+        }
         if let Err(reason) = self.ensure_thread(ctx, conn) {
             let now = ctx.now();
             self.respond_at(

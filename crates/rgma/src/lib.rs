@@ -32,10 +32,10 @@ pub mod storage;
 pub use client::{
     ProducerHandle, QueryHandle, RgmaClientSet, RgmaEvent, RgmaTimer, SubscriberHandle,
 };
-pub use config::{RgmaConfig, RgmaCostModel, RgmaMemory};
+pub use config::{HttpRetryPolicy, RgmaConfig, RgmaCostModel, RgmaMemory};
 pub use consumer::{ConsumerControl, ConsumerServlet};
 pub use producer::{ProducerControl, ProducerServlet};
 pub use protocol::{ConsumerId, ProducerId, QueryType};
-pub use registry::{RegistryActor, RegistryControl};
+pub use registry::{RegistryActor, RegistryControl, RegistryStats, RegistryStatsHandle};
 pub use secondary::SecondaryProducer;
 pub use storage::{MemoryStorage, StoredTuple};

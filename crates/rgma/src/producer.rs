@@ -45,6 +45,7 @@ struct StreamState {
 
 struct FlushTick;
 struct SweepTick;
+struct RefreshTick;
 
 /// The Primary Producer servlet actor.
 pub struct ProducerServlet {
@@ -420,6 +421,45 @@ impl ProducerServlet {
         ctx.timer(self.cfg.streaming_period, FlushTick);
     }
 
+    /// Soft-state refresh: re-register every live instance. After a
+    /// registry restart (Tomcat bounce) the wiped directory re-learns
+    /// them here; while the registry is healthy these are idempotent.
+    fn on_refresh(&mut self, ctx: &mut Context<'_>) {
+        let Some(period) = self.cfg.soft_state_refresh else {
+            return;
+        };
+        let my_ep = self.endpoint;
+        let reg_conn = self.registry_conn.expect("registry conn opened on start");
+        let mut pids: Vec<ProducerId> = self.instances.keys().copied().collect();
+        pids.sort_unstable();
+        let n = pids.len() as u64;
+        for pid in pids {
+            let table = self.instances[&pid].table.clone();
+            let req = RegistryRequest::RegisterProducer {
+                table,
+                endpoint: Endpoint::with_port(my_ep.node, my_ep.actor, pid.0 as u16),
+            };
+            let rid = self.next_req;
+            self.next_req += 1;
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                http::send_request(
+                    net,
+                    ctx,
+                    reg_conn,
+                    my_ep,
+                    rid,
+                    "/registry/register",
+                    96,
+                    Box::new(req),
+                );
+            });
+        }
+        if n > 0 {
+            simfault::with_faults(ctx, |inj, _| inj.stats.reregistrations += n);
+        }
+        ctx.timer(period, RefreshTick);
+    }
+
     fn on_sweep(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
         let mut evicted = 0usize;
@@ -444,6 +484,9 @@ impl Actor for ProducerServlet {
         }));
         ctx.timer(self.cfg.streaming_period, FlushTick);
         ctx.timer(SimDuration::from_secs(5), SweepTick);
+        if let Some(period) = self.cfg.soft_state_refresh {
+            ctx.timer(period, RefreshTick);
+        }
     }
 
     fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
@@ -477,6 +520,13 @@ impl Actor for ProducerServlet {
             }
             Err(m) => m,
         };
+        let msg = match msg.downcast::<RefreshTick>() {
+            Ok(_) => {
+                self.on_refresh(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
         let Ok(d) = msg.downcast::<Delivery>() else {
             return;
         };
@@ -491,6 +541,27 @@ impl Actor for ProducerServlet {
             return;
         };
         let HttpRequest { req_id, body, .. } = *req;
+        // Fault injection: a stalled servlet (Tomcat GC pause / overload)
+        // answers 503 without doing any work.
+        if simfault::node_stalled(ctx, self.node) {
+            simfault::with_faults(ctx, |inj, _| inj.stats.stall_rejections += 1);
+            simtrace::with_trace(ctx, |tr, _| {
+                tr.count(simtrace::Counter::FaultRejections, 1);
+            });
+            let now = ctx.now();
+            self.respond_at(
+                ctx,
+                conn,
+                req_id,
+                503,
+                64,
+                ProducerResponse::Error {
+                    reason: "servlet stalled".into(),
+                },
+                now,
+            );
+            return;
+        }
         // Thread-per-connection accept gate.
         if let Err(reason) = self.ensure_thread(ctx, conn) {
             let now = ctx.now();

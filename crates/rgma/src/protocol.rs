@@ -167,6 +167,15 @@ pub enum RegistryRequest {
         /// Producer servlet endpoint.
         endpoint: Endpoint,
     },
+    /// A consumer servlet registers a continuous query's interest in a
+    /// table (soft state: re-sent on every mediation cycle when the
+    /// soft-state refresh is enabled, so registry restarts are survived).
+    RegisterConsumer {
+        /// Table consumed.
+        table: String,
+        /// Consumer servlet endpoint.
+        endpoint: Endpoint,
+    },
     /// A consumer servlet looks up producers for a table.
     LookupProducers {
         /// Table wanted.

@@ -11,9 +11,12 @@ use crate::protocol::{ProducerId, RegistryRequest, RegistryResponse};
 use gma::{Directory, RegistrationId, TransferMode};
 use minisql::{Catalog, Statement};
 use simcore::{Actor, ActorId, Context, Payload, SimTime};
+use simfault::FaultSignal;
 use simnet::{http, Delivery, Endpoint, HttpRequest, NetworkFabric};
 use simos::{NodeId, OsModel, ProcessId};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Direct (non-HTTP) control for deployment setup.
 pub enum RegistryControl {
@@ -23,6 +26,20 @@ pub enum RegistryControl {
         sql: String,
     },
 }
+
+/// Registry counters shared with the experiment driver.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RegistryStats {
+    /// Producer registrations accepted (including soft-state refreshes).
+    pub registrations: u64,
+    /// Consumer registrations accepted.
+    pub consumer_registrations: u64,
+    /// Fault-injected restarts (directory wiped).
+    pub restarts: u32,
+}
+
+/// Shared handle to registry statistics.
+pub type RegistryStatsHandle = Rc<RefCell<RegistryStats>>;
 
 /// The registry servlet actor.
 pub struct RegistryActor {
@@ -34,7 +51,12 @@ pub struct RegistryActor {
     directory: Directory,
     /// Parallel map: registration → producer instance id.
     instance_of: HashMap<RegistrationId, ProducerId>,
+    /// Idempotence for soft-state refreshes: `(table, endpoint)` pairs
+    /// already registered. Wiped (with the directory) on restart, so the
+    /// next refresh re-lands the entry.
+    registered: HashMap<(String, Endpoint), RegistrationId>,
     catalog: Catalog,
+    stats: RegistryStatsHandle,
 }
 
 impl RegistryActor {
@@ -48,8 +70,24 @@ impl RegistryActor {
             endpoint: Endpoint::new(node, ActorId::NONE),
             directory: Directory::new(propagation),
             instance_of: HashMap::new(),
+            registered: HashMap::new(),
             catalog: Catalog::new(),
+            stats: RegistryStatsHandle::default(),
         }
+    }
+
+    /// Statistics handle; clone before `add_actor`.
+    pub fn stats_handle(&self) -> RegistryStatsHandle {
+        self.stats.clone()
+    }
+
+    /// A Tomcat restart: every soft-state registration is lost; the
+    /// schema catalog (backed by the database) survives.
+    fn on_restart(&mut self) {
+        self.directory = Directory::new(self.cfg.registry_propagation);
+        self.instance_of.clear();
+        self.registered.clear();
+        self.stats.borrow_mut().restarts += 1;
     }
 
     fn handle_request(
@@ -71,15 +109,30 @@ impl RegistryActor {
             Ok(b) => match *b {
                 RegistryRequest::RegisterProducer { table, endpoint } => {
                     // Producer id travels in the endpoint's port field by
-                    // convention (see producer servlet).
-                    let pid = ProducerId(u32::from(endpoint.port));
-                    let reg = self.directory.register_producer(
-                        ctx.now(),
-                        endpoint,
-                        table,
-                        vec![TransferMode::PublishSubscribe, TransferMode::QueryResponse],
-                    );
-                    self.instance_of.insert(reg, pid);
+                    // convention (see producer servlet). Soft-state
+                    // refreshes of a live entry are no-ops.
+                    if !self.registered.contains_key(&(table.clone(), endpoint)) {
+                        let pid = ProducerId(u32::from(endpoint.port));
+                        let reg = self.directory.register_producer(
+                            ctx.now(),
+                            endpoint,
+                            table.clone(),
+                            vec![TransferMode::PublishSubscribe, TransferMode::QueryResponse],
+                        );
+                        self.instance_of.insert(reg, pid);
+                        self.registered.insert((table, endpoint), reg);
+                        self.stats.borrow_mut().registrations += 1;
+                    }
+                    RegistryResponse::Registered
+                }
+                RegistryRequest::RegisterConsumer { table, endpoint } => {
+                    if !self.registered.contains_key(&(table.clone(), endpoint)) {
+                        let reg = self
+                            .directory
+                            .register_consumer(ctx.now(), endpoint, &table);
+                        self.registered.insert((table, endpoint), reg);
+                        self.stats.borrow_mut().consumer_registrations += 1;
+                    }
                     RegistryResponse::Registered
                 }
                 RegistryRequest::LookupProducers { table } => {
@@ -140,6 +193,15 @@ impl Actor for RegistryActor {
                         let stmt = minisql::parse(&sql).expect("deployment-provided SQL parses");
                         self.catalog.create(&stmt).expect("table not yet declared");
                     }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<FaultSignal>() {
+            Ok(sig) => {
+                if matches!(*sig, FaultSignal::RegistryRestart) {
+                    self.on_restart();
                 }
                 return;
             }

@@ -247,6 +247,11 @@ impl NetworkFabric {
         // UDP loss: decided before any resources are consumed — the frame
         // still occupies the sender NIC (it was transmitted, then lost).
         let dropped = transport.lossy() && ctx.rng().chance(self.cfg.udp_loss_prob);
+        // Injected faults (link bursts, partitions) can claim any
+        // transport's frames. Checked second so the kernel RNG draw order
+        // is identical with and without an injector installed; the
+        // injector draws from its own RNG stream.
+        let fault_dropped = !dropped && simfault::should_drop_frame(ctx, from.node, to.node);
 
         // Segmentation.
         let packets = bytes.div_ceil(self.cfg.mss).max(1) as u64;
@@ -264,7 +269,7 @@ impl NetworkFabric {
         nic.tx_busy_until = tx_done;
         let backlog_us = tx_done.saturating_since(now).as_micros();
 
-        if dropped {
+        if dropped || fault_dropped {
             self.stats.frames_dropped += 1;
             simtrace::with_trace(ctx, |tr, at| {
                 tr.record(
@@ -286,6 +291,9 @@ impl NetworkFabric {
                 );
                 tr.count(simtrace::Counter::NetFramesSent, 1);
                 tr.count(simtrace::Counter::NetDrops, 1);
+                if fault_dropped {
+                    tr.count(simtrace::Counter::FaultDrops, 1);
+                }
                 tr.gauge_set(simtrace::Gauge::NicBacklogUs, backlog_us);
             });
             return None;

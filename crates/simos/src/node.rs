@@ -71,6 +71,11 @@ pub struct Node {
     procs: Vec<ProcessMemory>,
     /// Unallocated physical memory available to new processes.
     free_ram: u64,
+    /// End of the current fault-injected slowdown window (none when in
+    /// the past).
+    slow_until: SimTime,
+    /// CPU cost multiplier while `slow_until` is in the future.
+    slow_factor: f64,
 }
 
 impl Node {
@@ -83,6 +88,8 @@ impl Node {
             cpu,
             procs: Vec::new(),
             free_ram: free,
+            slow_until: SimTime::ZERO,
+            slow_factor: 1.0,
         }
     }
 
@@ -189,9 +196,27 @@ impl OsModel {
         &mut self.nodes[pid.node.0 as usize].procs[pid.ix as usize]
     }
 
-    /// Run `cost` on a node's CPU; returns completion time.
+    /// Run `cost` on a node's CPU; returns completion time. While a
+    /// fault-injected slowdown window is open the cost is scaled by the
+    /// node's slowdown factor.
     pub fn execute(&mut self, node: NodeId, now: SimTime, cost: SimDuration) -> SimTime {
-        self.nodes[node.0 as usize].cpu.execute(now, cost)
+        let n = &mut self.nodes[node.0 as usize];
+        let cost = if now < n.slow_until {
+            cost.mul_f64(n.slow_factor)
+        } else {
+            cost
+        };
+        n.cpu.execute(now, cost)
+    }
+
+    /// Open a CPU slowdown window on `node`: costs are multiplied by
+    /// `factor` until `until`. Unknown nodes are ignored (fault schedules
+    /// may name nodes an experiment does not deploy).
+    pub fn set_slowdown(&mut self, node: NodeId, until: SimTime, factor: f64) {
+        if let Some(n) = self.nodes.get_mut(node.0 as usize) {
+            n.slow_until = until;
+            n.slow_factor = factor;
+        }
     }
 
     /// Spawn a thread in `pid`: reserves a stack and registers a runnable

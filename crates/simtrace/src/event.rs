@@ -169,10 +169,20 @@ pub enum Counter {
     BatchFlushes,
     /// Simulated GC pauses.
     GcPauses,
+    /// Fault events fired by the simfault driver.
+    FaultsInjected,
+    /// Frames/messages dropped by injected faults (link bursts,
+    /// partitions, crashed brokers).
+    FaultDrops,
+    /// Requests rejected because of injected faults (stalled servlets).
+    FaultRejections,
+    /// Messages recovered by client-side fault handling (resync,
+    /// republish, retry).
+    FaultRecoveries,
 }
 
 /// Number of [`Counter`] slots.
-pub const COUNTER_COUNT: usize = 13;
+pub const COUNTER_COUNT: usize = 17;
 
 impl Counter {
     /// All counters, in slot order.
@@ -190,7 +200,24 @@ impl Counter {
         Counter::TuplesDelivered,
         Counter::BatchFlushes,
         Counter::GcPauses,
+        Counter::FaultsInjected,
+        Counter::FaultDrops,
+        Counter::FaultRejections,
+        Counter::FaultRecoveries,
     ];
+
+    /// True for counters that only move when fault injection is active.
+    /// Exporters omit these slots when every sample is zero, keeping
+    /// no-fault trace exports byte-identical to pre-fault builds.
+    pub fn fault_only(self) -> bool {
+        matches!(
+            self,
+            Counter::FaultsInjected
+                | Counter::FaultDrops
+                | Counter::FaultRejections
+                | Counter::FaultRecoveries
+        )
+    }
 
     /// Stable snake_case name used by every exporter.
     pub fn name(self) -> &'static str {
@@ -208,6 +235,10 @@ impl Counter {
             Counter::TuplesDelivered => "tuples_delivered",
             Counter::BatchFlushes => "batch_flushes",
             Counter::GcPauses => "gc_pauses",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultDrops => "fault_drops",
+            Counter::FaultRejections => "fault_rejections",
+            Counter::FaultRecoveries => "fault_recoveries",
         }
     }
 }

@@ -58,11 +58,23 @@ fn kind_args(out: &mut String, kind: EventKind) {
     }
 }
 
+/// True if any sample shows movement on a fault-only counter. When not,
+/// the fault slots are omitted from exports so no-fault runs stay
+/// byte-identical to builds that predate fault injection.
+fn faults_active(tr: &TraceCollector) -> bool {
+    tr.samples().iter().any(|s| {
+        Counter::ALL
+            .iter()
+            .any(|c| c.fault_only() && s.counter(*c) > 0)
+    })
+}
+
 /// Export the full trace as JSON Lines: every event, every counter
 /// sample, and (merged in time order) the machine resource rows —
 /// the "one unified resource log".
 pub fn jsonl(tr: &TraceCollector, resources: &[ResourceRow]) -> String {
     let mut out = String::new();
+    let with_faults = faults_active(tr);
     // Events first (time-ordered by construction).
     for ev in tr.events() {
         write!(out, "{{\"type\":\"event\",\"at_us\":{}", ev.at.as_micros()).unwrap();
@@ -100,6 +112,9 @@ pub fn jsonl(tr: &TraceCollector, resources: &[ResourceRow]) -> String {
             )
             .unwrap();
             for c in Counter::ALL {
+                if c.fault_only() && !with_faults {
+                    continue;
+                }
                 write!(out, ",\"{}\":{}", c.name(), s.counter(c)).unwrap();
             }
             for g in Gauge::ALL {
@@ -167,8 +182,12 @@ pub fn chrome_trace(tr: &TraceCollector) -> String {
             }
         }
     }
+    let with_faults = faults_active(tr);
     for s in tr.samples() {
         for c in Counter::ALL {
+            if c.fault_only() && !with_faults {
+                continue;
+            }
             write!(
                 out,
                 ",\n{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\

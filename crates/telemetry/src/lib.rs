@@ -18,6 +18,6 @@ pub mod rtt;
 pub mod stats;
 
 pub use histogram::LatencyHistogram;
-pub use report::{trim_float, Figure, Series, Table};
-pub use rtt::{ProbeId, ProbeInstants, RttCollector, RttSummary};
+pub use report::{degradation_table, trim_float, Figure, Series, Table};
+pub use rtt::{Conservation, ProbeId, ProbeInstants, RttCollector, RttSummary};
 pub use stats::Welford;

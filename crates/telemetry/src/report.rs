@@ -189,6 +189,19 @@ impl Figure {
     }
 }
 
+/// Render the graceful-degradation accounting of a fault campaign as a
+/// per-cause table: one row per `(cause, count)` pair, zero-count rows
+/// skipped so no-fault runs produce an empty table body.
+pub fn degradation_table(title: impl Into<String>, rows: &[(&'static str, u64)]) -> Table {
+    let mut table = Table::new(title, &["cause", "messages"]);
+    for &(cause, count) in rows {
+        if count > 0 {
+            table.push_row(vec![cause.to_owned(), count.to_string()]);
+        }
+    }
+    table
+}
+
 /// Format a float without trailing zero noise.
 pub fn trim_float(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {

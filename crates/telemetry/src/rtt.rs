@@ -72,6 +72,38 @@ pub struct RttSummary {
     pub within_5s: f64,
 }
 
+/// Exhaustive end-of-run classification of every sent message: each is
+/// delivered, dropped (with a known cause), or still in flight when the
+/// clock stops. Fault-injection campaigns assert [`Conservation::holds`]
+/// to prove no message is double-counted or silently lost by the
+/// accounting itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conservation {
+    /// Messages the application sent.
+    pub sent: u64,
+    /// Messages the receiving application got (duplicates counted once).
+    pub delivered: u64,
+    /// Messages dropped with an attributed cause (link burst, partition,
+    /// crash window, …) — supplied by the fault-injection accounting.
+    pub dropped: u64,
+    /// Messages neither delivered nor attributed-dropped by the end of
+    /// the run (queued, buffered offline, or mid-retransmit).
+    pub in_flight_at_end: u64,
+}
+
+impl Conservation {
+    /// The conservation identity `sent == delivered + dropped +
+    /// in_flight_at_end`. Fails only when causes are double-counted
+    /// (`delivered + dropped > sent`), since `in_flight_at_end` is the
+    /// residual class.
+    pub fn holds(&self) -> bool {
+        self.delivered
+            .checked_add(self.dropped)
+            .and_then(|v| v.checked_add(self.in_flight_at_end))
+            == Some(self.sent)
+    }
+}
+
 /// The measurement service: middlewares and clients report instants; the
 /// experiment reads the summary at the end.
 pub struct RttCollector {
@@ -174,6 +206,23 @@ impl RttCollector {
             before_receiving: r.before_receiving,
             after_receiving: r.after_receiving,
         })
+    }
+
+    /// Classify every sent message at end of run. `dropped` is the
+    /// cause-attributed drop count from the fault accounting; messages
+    /// neither delivered nor attributed fall into `in_flight_at_end`.
+    /// The result's [`Conservation::holds`] detects double-counting:
+    /// it is violated exactly when `delivered + dropped > sent`.
+    pub fn conservation(&self, dropped: u64) -> Conservation {
+        let sent = self.sent();
+        let delivered = self.received();
+        let in_flight_at_end = sent.saturating_sub(delivered).saturating_sub(dropped);
+        Conservation {
+            sent,
+            delivered,
+            dropped,
+            in_flight_at_end,
+        }
     }
 
     /// Summarize at end of experiment.
@@ -289,6 +338,28 @@ mod tests {
         let s = c.summary();
         assert!((s.rtt_mean_ms - 15.0).abs() < 1e-9);
         assert!((s.rtt_stddev_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_classifies_exhaustively() {
+        let mut c = RttCollector::new();
+        for i in 0..10 {
+            let id = c.before_sending(t(i));
+            c.after_sending(id, t(i + 1));
+            if i < 6 {
+                c.after_receiving(id, t(i + 3));
+            }
+        }
+        // 10 sent, 6 delivered, 3 attributed drops → 1 in flight.
+        let cons = c.conservation(3);
+        assert_eq!(cons.sent, 10);
+        assert_eq!(cons.delivered, 6);
+        assert_eq!(cons.dropped, 3);
+        assert_eq!(cons.in_flight_at_end, 1);
+        assert!(cons.holds());
+        // Over-attribution (double-counted drops) breaks the identity.
+        let over = c.conservation(5);
+        assert!(!over.holds(), "delivered + dropped > sent must not hold");
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub use narada;
 pub use powergrid;
 pub use rgma;
 pub use simcore;
+pub use simfault;
 pub use simnet;
 pub use simos;
 pub use simtrace;

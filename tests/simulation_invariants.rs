@@ -3,7 +3,10 @@
 
 use gridmon::core::{run_experiment, ExperimentSpec, SystemUnderTest};
 use gridmon::jms::AckMode;
+use gridmon::simcore::{SimDuration, SimTime};
+use gridmon::simfault::{FaultKind, FaultSchedule};
 use gridmon::simnet::Transport;
+use gridmon::simos::NodeId;
 use proptest::prelude::*;
 
 fn arb_system() -> impl Strategy<Value = SystemUnderTest> {
@@ -37,6 +40,78 @@ prop_compose! {
         spec.ack_mode = if client_ack { AckMode::Client } else { AckMode::Auto };
         spec.seed = seed;
         spec
+    }
+}
+
+/// One arbitrary fault (a crash brings its paired restart along), timed
+/// so it can land inside the short publishing window of the scaled-down
+/// specs above. Events firing past the horizon are legal — they simply
+/// never trigger.
+fn arb_fault() -> impl Strategy<Value = Vec<(u64, FaultKind)>> {
+    let at = 10u64..80;
+    prop_oneof![
+        (at.clone(), 1u64..10, 1u32..10).prop_map(|(at, dur, prob)| {
+            vec![(
+                at,
+                FaultKind::LinkLossBurst {
+                    duration: SimDuration::from_secs(dur),
+                    loss_prob: f64::from(prob) / 20.0,
+                    node: None,
+                },
+            )]
+        }),
+        (at.clone(), 1u64..10).prop_map(|(at, dur)| {
+            vec![(
+                at,
+                FaultKind::Partition {
+                    duration: SimDuration::from_secs(dur),
+                    group: vec![NodeId(0)],
+                },
+            )]
+        }),
+        // Crash with a scheduled restart: the paired case is the
+        // recovery-interesting one; unpaired crashes exhaust the
+        // reconnect budget, which the conformance suite covers.
+        (at.clone(), 1u64..20).prop_map(|(at, down)| {
+            vec![
+                (at, FaultKind::BrokerCrash { broker: 0 }),
+                (at + down, FaultKind::BrokerRestart { broker: 0 }),
+            ]
+        }),
+        at.clone()
+            .prop_map(|at| vec![(at, FaultKind::RegistryRestart)]),
+        (at.clone(), 2u64..8).prop_map(|(at, dur)| {
+            vec![(
+                at,
+                FaultKind::ServletStall {
+                    node: NodeId(0),
+                    duration: SimDuration::from_secs(dur),
+                },
+            )]
+        }),
+        (at, 2u64..15, 2u32..5).prop_map(|(at, dur, factor)| {
+            vec![(
+                at,
+                FaultKind::NodeSlowdown {
+                    node: NodeId(0),
+                    duration: SimDuration::from_secs(dur),
+                    factor: f64::from(factor),
+                },
+            )]
+        }),
+    ]
+}
+
+prop_compose! {
+    /// 1–3 arbitrary faults merged into one schedule.
+    fn arb_fault_schedule()(
+        faults in proptest::collection::vec(arb_fault(), 1..3),
+    ) -> FaultSchedule {
+        let mut schedule = FaultSchedule::new();
+        for (at, kind) in faults.into_iter().flatten() {
+            schedule = schedule.at(SimTime::from_secs(at), kind);
+        }
+        schedule
     }
 }
 
@@ -80,5 +155,60 @@ proptest! {
         prop_assert_eq!(a.summary.received, b.summary.received);
         prop_assert_eq!(a.summary.rtt_mean_ms.to_bits(), b.summary.rtt_mean_ms.to_bits());
         prop_assert_eq!(a.events, b.events);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation and determinism under arbitrary fault schedules:
+    /// the same seed must produce the same faults and the same
+    /// degradation accounting, and nothing may be delivered that was
+    /// never sent.
+    #[test]
+    fn faulted_runs_conserve_and_replay(
+        spec in arb_spec(),
+        schedule in arb_fault_schedule(),
+    ) {
+        let spec = spec.with_faults(schedule.clone());
+        let a = run_experiment(&spec);
+        // Conservation: after the drain, every sent message is either
+        // delivered, attributably dropped, or still queued behind a
+        // slowdown — never duplicated into view.
+        prop_assert!(a.summary.received <= a.summary.sent,
+            "received {} > sent {}", a.summary.received, a.summary.sent);
+        let f = a.fault_stats.expect("faulted run reports stats");
+        prop_assert!(f.reconnects <= f.reconnect_attempts);
+        prop_assert!(f.injected <= schedule.events.len() as u64,
+            "more faults fired than scheduled");
+        // Determinism: same seed ⇒ same faults ⇒ identical run,
+        // including the per-cause degradation accounting.
+        let b = run_experiment(&spec);
+        prop_assert_eq!(a.summary.sent, b.summary.sent);
+        prop_assert_eq!(a.summary.received, b.summary.received);
+        prop_assert_eq!(a.summary.rtt_mean_ms.to_bits(), b.summary.rtt_mean_ms.to_bits());
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.fault_stats, b.fault_stats);
+    }
+
+    /// An empty schedule must be indistinguishable from a build without
+    /// fault support: no injector service, no recovery policies, and
+    /// byte-identical trace exports (the determinism guard over the
+    /// fault probes sprinkled through simnet/narada/rgma).
+    #[test]
+    fn empty_schedule_is_byte_identical_to_no_faults(spec in arb_spec()) {
+        let plain = spec.clone().traced();
+        let gated = spec.traced().with_faults(FaultSchedule::new());
+        let a = run_experiment(&plain);
+        let b = run_experiment(&gated);
+        prop_assert_eq!(a.summary.sent, b.summary.sent);
+        prop_assert_eq!(a.summary.rtt_mean_ms.to_bits(), b.summary.rtt_mean_ms.to_bits());
+        prop_assert_eq!(a.events, b.events);
+        prop_assert!(b.fault_stats.is_none(), "no injector may be registered");
+        let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+        prop_assert_eq!(&ta.jsonl, &tb.jsonl, "JSONL exports must be byte-identical");
+        prop_assert_eq!(&ta.chrome, &tb.chrome, "Chrome exports must be byte-identical");
+        prop_assert!(!ta.jsonl.contains("fault"),
+            "no-fault exports must not mention fault counters");
     }
 }
