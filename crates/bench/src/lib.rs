@@ -9,3 +9,63 @@
 //!   the same deployments as the `repro` harness at a reduced message
 //!   budget so `cargo bench` finishes in minutes while still exercising
 //!   every mechanism.
+//!
+//! Plus one tiny library piece: [`SelfTimer`], the wall-clock self-timer
+//! the perf-baseline harness mode (`repro --bench-json`) wraps around
+//! each experiment batch.
+
+use std::time::Instant;
+
+/// Wall-clock self-timer for the perf baseline: accumulates labelled
+/// spans of host time so `repro --bench-json` can report both the
+/// per-experiment wall time (from `ExperimentResult::wall_secs`) and the
+/// end-to-end harness overhead around the worker pool.
+#[derive(Debug)]
+pub struct SelfTimer {
+    started: Instant,
+    spans: Vec<(String, f64)>,
+}
+
+impl SelfTimer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        SelfTimer {
+            started: Instant::now(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Time one closure and record it under `label`.
+    pub fn span<T>(&mut self, label: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.spans.push((label.into(), t0.elapsed().as_secs_f64()));
+        out
+    }
+
+    /// Seconds since `start()`.
+    pub fn total_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Recorded `(label, seconds)` spans, in recording order.
+    pub fn spans(&self) -> &[(String, f64)] {
+        &self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates_labelled_spans() {
+        let mut t = SelfTimer::start();
+        let v = t.span("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.spans()[0].0, "work");
+        assert!(t.spans()[0].1 >= 0.0);
+        assert!(t.total_secs() >= t.spans()[0].1);
+    }
+}

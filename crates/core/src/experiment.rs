@@ -86,6 +86,11 @@ pub struct ExperimentSpec {
     /// registered and no recovery policy is enabled, so fault-free runs
     /// are byte-identical to builds without fault support.
     pub faults: FaultSchedule,
+    /// Enable the virtual-time profiler and the metrics plane. Off by
+    /// default: no `Profiler`/`MetricsRegistry` service is registered, so
+    /// every charge site reduces to one failed type-map probe and the
+    /// run is byte-identical to an unprofiled build.
+    pub profile: bool,
 }
 
 impl ExperimentSpec {
@@ -111,12 +116,20 @@ impl ExperimentSpec {
             rgma_config: None,
             trace: false,
             faults: FaultSchedule::new(),
+            profile: false,
         }
     }
 
     /// Enable per-message lifecycle tracing for this run.
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enable the virtual-time profiler and the time-series metrics
+    /// plane for this run.
+    pub fn profiled(mut self) -> Self {
+        self.profile = true;
         self
     }
 
@@ -157,6 +170,32 @@ pub struct TraceArtifacts {
     pub disagreements: Vec<String>,
 }
 
+/// Profiler and metrics-plane artifacts produced by a profiled run
+/// (`spec.profile = true`).
+#[derive(Debug, Clone)]
+pub struct ProfileArtifacts {
+    /// Rendered per-component self-time table (the `repro --profile`
+    /// terminal output).
+    pub table: String,
+    /// Flamegraph-compatible collapsed-stack lines
+    /// (`path;to;frame <micros>`).
+    pub collapsed: String,
+    /// Prometheus text-exposition snapshot of the metrics registry at
+    /// the end of the run.
+    pub prometheus: String,
+    /// Deterministic time-series CSV (`t_s,metric,value`) sampled on the
+    /// vmstat cadence.
+    pub metrics_csv: String,
+    /// Simulated busy time the profiler attributed to components.
+    pub attributed: SimDuration,
+    /// Total simulated busy time submitted to every CPU in the cluster.
+    /// The table's TOTAL row equals this (conservation).
+    pub kernel_busy: SimDuration,
+    /// `kernel_busy - attributed`; non-zero means a charge site is
+    /// missing somewhere.
+    pub unattributed: SimDuration,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -187,10 +226,16 @@ pub struct ExperimentResult {
     /// Graceful-degradation accounting (only when `spec.faults` was
     /// non-empty): dropped vs delayed vs recovered, per cause.
     pub fault_stats: Option<FaultStats>,
+    /// Profiler + metrics artifacts (only when `spec.profile` was set).
+    pub profile: Option<ProfileArtifacts>,
+    /// Host wall-clock seconds this run took (perf-baseline input; the
+    /// only non-deterministic field).
+    pub wall_secs: f64,
 }
 
 /// Deploy and run one experiment to completion.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let wall_start = std::time::Instant::now();
     let mut sim = Simulation::new(spec.seed);
 
     // --- Cluster ---------------------------------------------------
@@ -238,6 +283,10 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         // not perturb the kernel RNG; with an empty schedule it is not
         // registered at all and every fault probe is a no-op.
         sim.add_service(FaultInjector::new(spec.seed));
+    }
+    if spec.profile {
+        sim.add_service(simprof::Profiler::new());
+        sim.add_service(telemetry::MetricsRegistry::new());
     }
 
     // Server processes.
@@ -585,6 +634,28 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         }
     });
 
+    let profile = sim.service::<simprof::Profiler>().map(|p| {
+        let kernel_busy = sim
+            .service::<OsModel>()
+            .expect("os registered")
+            .total_submitted_work();
+        let report = p.report(kernel_busy);
+        let metrics = sim
+            .service::<telemetry::MetricsRegistry>()
+            .expect("registered alongside the profiler");
+        ProfileArtifacts {
+            table: report
+                .table(format!("{} — self time by component", spec.name))
+                .render(),
+            collapsed: p.collapsed(),
+            prometheus: metrics.prometheus(),
+            metrics_csv: metrics.csv(),
+            attributed: report.attributed,
+            kernel_busy: report.kernel_busy,
+            unattributed: report.unattributed,
+        }
+    });
+
     ExperimentResult {
         name: spec.name.clone(),
         generators: spec.generators,
@@ -599,6 +670,8 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         events: sim.stats().events_processed,
         trace,
         fault_stats: sim.service::<FaultInjector>().map(|inj| inj.stats),
+        profile,
+        wall_secs: wall_start.elapsed().as_secs_f64(),
     }
 }
 

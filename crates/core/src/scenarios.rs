@@ -138,6 +138,33 @@ pub fn rgma_distributed_specs(msgs: u32) -> Vec<ExperimentSpec> {
         .collect()
 }
 
+/// The perf-baseline suite (`repro bench`): one representative spec per
+/// deployment shape, small enough to run on CI yet exercising every
+/// mechanism (both transports, the DBN flood, the servlet chain).
+pub fn bench_specs(msgs: u32) -> Vec<ExperimentSpec> {
+    let mut udp =
+        ExperimentSpec::paper_default("bench/narada-udp", SystemUnderTest::NaradaSingle, 800)
+            .scaled(msgs);
+    udp.transport = Transport::Udp;
+    vec![
+        ExperimentSpec::paper_default("bench/narada-tcp", SystemUnderTest::NaradaSingle, 800)
+            .scaled(msgs),
+        udp,
+        ExperimentSpec::paper_default(
+            "bench/narada-dbn",
+            SystemUnderTest::NaradaDbn { brokers: 3 },
+            800,
+        )
+        .scaled(msgs),
+        ExperimentSpec::paper_default("bench/rgma-single", SystemUnderTest::RgmaSingle, 400)
+            .scaled(msgs),
+        ExperimentSpec::paper_default("bench/rgma-dist", SystemUnderTest::RgmaDistributed, 800)
+            .scaled(msgs),
+        ExperimentSpec::paper_default("bench/rgma-secondary", SystemUnderTest::RgmaSecondary, 100)
+            .scaled(msgs),
+    ]
+}
+
 /// Fig 15: RTT decomposition — Narada TCP at 800 and R-GMA single at 400.
 pub fn fig15_specs(msgs: u32) -> Vec<ExperimentSpec> {
     vec![

@@ -1,0 +1,59 @@
+//! `bench_gate` — CI perf-regression gate.
+//!
+//! ```text
+//! bench_gate [--tolerance=FRACTION] BASELINE.json CANDIDATE.json
+//! ```
+//!
+//! Both files must be `gridmon-bench/1` reports (see `repro
+//! --bench-json`). Exits 0 when the candidate's total wall time is
+//! within `tolerance` (default 0.15 = +15 %) of the baseline and the
+//! deterministic workload counters match; exits 1 on a regression and
+//! 2 on usage or parse errors.
+
+use harness::bench::{gate, BenchReport, DEFAULT_TOLERANCE};
+
+fn run(args: impl Iterator<Item = String>) -> Result<String, (i32, String)> {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut files = Vec::new();
+    for a in args {
+        if let Some(v) = a.strip_prefix("--tolerance=") {
+            tolerance = v
+                .parse()
+                .map_err(|e| (2, format!("bad --tolerance: {e}")))?;
+        } else if a.starts_with('-') {
+            return Err((2, format!("unknown option {a} (only --tolerance=F)")));
+        } else {
+            files.push(a);
+        }
+    }
+    let [baseline, candidate] = files.as_slice() else {
+        return Err((
+            2,
+            "usage: bench_gate [--tolerance=F] BASELINE.json CANDIDATE.json".into(),
+        ));
+    };
+    let read_report = |path: &str| -> Result<BenchReport, (i32, String)> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| (2, format!("cannot read {path}: {e}")))?;
+        BenchReport::parse(&text).map_err(|e| (2, format!("{path}: {e}")))
+    };
+    let base = read_report(baseline)?;
+    let cand = read_report(candidate)?;
+    match gate(&base, &cand, tolerance) {
+        Ok(report) => Ok(report),
+        Err(failures) => Err((1, failures.join("\n"))),
+    }
+}
+
+fn main() {
+    match run(std::env::args().skip(1)) {
+        Ok(report) => {
+            println!("{report}");
+            println!("perf gate: PASS");
+        }
+        Err((code, msg)) => {
+            eprintln!("perf gate: FAIL\n{msg}");
+            std::process::exit(code);
+        }
+    }
+}

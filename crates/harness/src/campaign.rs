@@ -8,6 +8,7 @@ use std::collections::HashMap;
 pub struct Campaign {
     threads: usize,
     trace: bool,
+    profile: bool,
     faults: FaultSchedule,
     results: HashMap<String, ExperimentResult>,
     /// Wall-clock seconds spent running experiments.
@@ -20,6 +21,7 @@ impl Campaign {
         Campaign {
             threads,
             trace: false,
+            profile: false,
             faults: FaultSchedule::new(),
             results: HashMap::new(),
             wall_seconds: 0.0,
@@ -30,6 +32,12 @@ impl Campaign {
     /// runs from now on (`--trace`).
     pub fn set_trace(&mut self, on: bool) {
         self.trace = on;
+    }
+
+    /// Enable the virtual-time profiler + metrics plane on every spec
+    /// this campaign runs from now on (`--profile`).
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile = on;
     }
 
     /// Inject this fault schedule into every spec this campaign runs
@@ -46,6 +54,7 @@ impl Campaign {
             .cloned()
             .map(|mut s| {
                 s.trace |= self.trace;
+                s.profile |= self.profile;
                 if s.faults.is_empty() {
                     s.faults = self.faults.clone();
                 }
@@ -108,6 +117,47 @@ impl Campaign {
             disagreements += trace.disagreements.len();
         }
         Ok((files, disagreements))
+    }
+}
+
+impl Campaign {
+    /// Rendered per-component self-time tables of every profiled run,
+    /// sorted by run name (the `--profile` terminal output).
+    pub fn profile_tables(&self) -> Vec<(String, String)> {
+        let mut rows: Vec<(String, String)> = self
+            .results
+            .iter()
+            .filter_map(|(name, r)| r.profile.as_ref().map(|p| (name.clone(), p.table.clone())))
+            .collect();
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Write the profiler artifacts of every profiled run under `dir`:
+    /// `<name>.selftime.txt` (the rendered per-component table),
+    /// `<name>.collapsed.txt` (flamegraph collapsed stacks — feed to
+    /// `flamegraph.pl` / inferno), `<name>.prom.txt` (Prometheus text
+    /// exposition) and `<name>.metrics.csv` (deterministic time series).
+    /// Returns the number of files written.
+    pub fn write_profiles(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        let mut files = 0;
+        let mut names: Vec<&String> = self.results.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let r = &self.results[name];
+            let Some(prof) = &r.profile else { continue };
+            std::fs::create_dir_all(dir)?;
+            let stem: String = name
+                .chars()
+                .map(|c| if c == '/' || c == ' ' { '_' } else { c })
+                .collect();
+            std::fs::write(dir.join(format!("{stem}.selftime.txt")), &prof.table)?;
+            std::fs::write(dir.join(format!("{stem}.collapsed.txt")), &prof.collapsed)?;
+            std::fs::write(dir.join(format!("{stem}.prom.txt")), &prof.prometheus)?;
+            std::fs::write(dir.join(format!("{stem}.metrics.csv")), &prof.metrics_csv)?;
+            files += 4;
+        }
+        Ok(files)
     }
 }
 

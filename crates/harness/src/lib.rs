@@ -6,6 +6,7 @@
 //! exact rows/series each paper artifact reports.
 
 pub mod artifacts;
+pub mod bench;
 pub mod campaign;
 
 pub use campaign::Campaign;

@@ -1,34 +1,57 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale N] [--threads N] [--out DIR] [--trace[=DIR]]
-//!       [--faults SCENARIO] <artifact>...
+//! repro [--scale=N] [--threads=N] [--out=DIR | --no-csv] [--trace[=DIR]]
+//!       [--faults=SCENARIO] [--profile[=DIR]] [--bench-json=FILE]
+//!       <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 rgma-warmup
 //!            ablation-routing ablation-secondary ablation-poll
-//!            checks all
+//!            ablation-aggregation checks bench all
 //!
-//! --scale N    messages per generator (default 180 = the paper's 30 min)
-//! --threads N  worker threads (default: all cores)
-//! --out DIR    also write CSV files under DIR (default: results/)
-//! --trace[=DIR] record per-message lifecycle traces for every run and
-//!              write `<run>.trace.jsonl` + `<run>.trace.json` (Chrome
-//!              trace_event) under DIR (default: results/trace/)
+//! Every value-taking option accepts both `--opt value` and
+//! `--opt=value`. Unknown options are rejected with the valid list.
+//!
+//! --scale N        messages per generator (default 180 = the paper's
+//!                  30 min)
+//! --threads N      worker threads (default: all cores)
+//! --out DIR        also write CSV files under DIR (default: results/)
+//! --no-csv         do not write CSV files
+//! --trace[=DIR]    record per-message lifecycle traces for every run
+//!                  and write `<run>.trace.jsonl` + `<run>.trace.json`
+//!                  (Chrome trace_event) under DIR (default:
+//!                  results/trace/)
 //! --faults SCENARIO  inject a named fault scenario into every run and
-//!              report the per-cause degradation accounting (scenarios:
-//!              broker-crash registry-restart link-burst partition
-//!              servlet-stall slowdown chaos)
+//!                  report the per-cause degradation accounting
+//!                  (scenarios: broker-crash registry-restart link-burst
+//!                  partition servlet-stall slowdown chaos)
+//! --profile[=DIR]  attribute simulated CPU time to components with the
+//!                  virtual-time profiler, print each run's self-time
+//!                  table, and write `<run>.selftime.txt`,
+//!                  `<run>.collapsed.txt` (flamegraph collapsed stacks),
+//!                  `<run>.prom.txt` (Prometheus text exposition) and
+//!                  `<run>.metrics.csv` under DIR (default:
+//!                  results/prof/)
+//! --bench-json FILE  run the perf-baseline suite (`bench`) and write a
+//!                  schema-versioned machine-readable report
+//!                  (gridmon-bench/1) to FILE; compare against a
+//!                  committed baseline with `bench_gate`
 //! ```
 
 use harness::{artifacts, Campaign};
 use std::io::Write;
+
+const VALID_OPTIONS: &str = "--scale --threads --out --no-csv --trace[=DIR] \
+     --faults --profile[=DIR] --bench-json --help";
 
 struct Options {
     scale: u32,
     threads: usize,
     out: Option<std::path::PathBuf>,
     trace: Option<std::path::PathBuf>,
+    profile: Option<std::path::PathBuf>,
+    bench_json: Option<std::path::PathBuf>,
     faults: Option<gridmon_core::FaultSchedule>,
     artifacts: Vec<String>,
 }
@@ -42,66 +65,97 @@ fn parse_fault_scenario(name: &str) -> Result<gridmon_core::FaultSchedule, Strin
     })
 }
 
-fn parse_args() -> Result<Options, String> {
+/// The value of `--opt value` / `--opt=value`, from `inline` (the text
+/// after `=`, if any) or the next argument.
+fn take_value(
+    opt: &str,
+    inline: Option<&str>,
+    args: &mut impl Iterator<Item = String>,
+) -> Result<String, String> {
+    match inline {
+        Some(v) if !v.is_empty() => Ok(v.to_owned()),
+        Some(_) => Err(format!("{opt}= needs a value")),
+        None => args.next().ok_or_else(|| format!("{opt} needs a value")),
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut scale = 180u32;
     let mut threads = 0usize;
     let mut out = Some(std::path::PathBuf::from("results"));
     let mut trace = None;
+    let mut profile = None;
+    let mut bench_json = None;
     let mut faults = None;
     let mut artifacts = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.peekable();
     while let Some(a) = args.next() {
-        if a == "--trace" {
-            trace = Some(std::path::PathBuf::from("results/trace"));
+        if !a.starts_with('-') {
+            artifacts.push(a);
             continue;
         }
-        if let Some(dir) = a.strip_prefix("--trace=") {
-            if dir.is_empty() {
-                return Err("--trace= needs a directory (or use bare --trace)".into());
-            }
-            trace = Some(std::path::PathBuf::from(dir));
-            continue;
-        }
-        if let Some(name) = a.strip_prefix("--faults=") {
-            faults = Some(parse_fault_scenario(name)?);
-            continue;
-        }
-        if a == "--faults" {
-            let name = args.next().ok_or("--faults needs a scenario name")?;
-            faults = Some(parse_fault_scenario(&name)?);
-            continue;
-        }
-        match a.as_str() {
+        let (opt, inline) = match a.split_once('=') {
+            Some((o, v)) => (o.to_owned(), Some(v.to_owned())),
+            None => (a, None),
+        };
+        match opt.as_str() {
             "--scale" => {
-                scale = args
-                    .next()
-                    .ok_or("--scale needs a value")?
+                scale = take_value("--scale", inline.as_deref(), &mut args)?
                     .parse()
                     .map_err(|e| format!("bad --scale: {e}"))?;
             }
             "--threads" => {
-                threads = args
-                    .next()
-                    .ok_or("--threads needs a value")?
+                threads = take_value("--threads", inline.as_deref(), &mut args)?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--out" => {
-                out = Some(std::path::PathBuf::from(
-                    args.next().ok_or("--out needs a value")?,
-                ));
+                out = Some(std::path::PathBuf::from(take_value(
+                    "--out",
+                    inline.as_deref(),
+                    &mut args,
+                )?));
             }
             "--no-csv" => out = None,
-            "--help" | "-h" => {
-                artifacts.push("help".to_owned());
+            "--trace" => {
+                trace = Some(std::path::PathBuf::from(match inline {
+                    Some(dir) if !dir.is_empty() => dir,
+                    Some(_) => return Err("--trace= needs a directory (or bare --trace)".into()),
+                    None => "results/trace".to_owned(),
+                }));
             }
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option {other}"));
+            "--profile" => {
+                profile = Some(std::path::PathBuf::from(match inline {
+                    Some(dir) if !dir.is_empty() => dir,
+                    Some(_) => {
+                        return Err("--profile= needs a directory (or bare --profile)".into())
+                    }
+                    None => "results/prof".to_owned(),
+                }));
             }
-            name => artifacts.push(name.to_owned()),
+            "--bench-json" => {
+                bench_json = Some(std::path::PathBuf::from(take_value(
+                    "--bench-json",
+                    inline.as_deref(),
+                    &mut args,
+                )?));
+            }
+            "--faults" => {
+                faults = Some(parse_fault_scenario(&take_value(
+                    "--faults",
+                    inline.as_deref(),
+                    &mut args,
+                )?)?);
+            }
+            "--help" | "-h" => artifacts.push("help".to_owned()),
+            other => {
+                return Err(format!(
+                    "unknown option {other} (valid options: {VALID_OPTIONS})"
+                ));
+            }
         }
     }
-    if artifacts.is_empty() {
+    if artifacts.is_empty() && bench_json.is_none() {
         artifacts.push("help".to_owned());
     }
     Ok(Options {
@@ -109,6 +163,8 @@ fn parse_args() -> Result<Options, String> {
         threads,
         out,
         trace,
+        profile,
+        bench_json,
         faults,
         artifacts,
     })
@@ -155,7 +211,7 @@ fn write_csv(out: &Option<std::path::PathBuf>, name: &str, csv: &str) {
 }
 
 fn main() {
-    let opts = match parse_args() {
+    let opts = match parse_args(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -165,9 +221,10 @@ fn main() {
     if opts.artifacts.iter().any(|a| a == "help") {
         eprintln!(
             "repro — regenerate the IPPS 2007 pub/sub study artifacts\n\n\
-             usage: repro [--scale N] [--threads N] [--out DIR | --no-csv] \
-             [--trace[=DIR]] [--faults SCENARIO] <artifact>...\n\n\
-             artifacts: {} all\n\
+             usage: repro [--scale=N] [--threads=N] [--out=DIR | --no-csv] \
+             [--trace[=DIR]] [--faults=SCENARIO] [--profile[=DIR]] \
+             [--bench-json=FILE] <artifact>...\n\n\
+             artifacts: {} bench all\n\
              fault scenarios: {}",
             ALL.join(" "),
             gridmon_core::FaultSchedule::SCENARIOS.join(" ")
@@ -179,14 +236,26 @@ fn main() {
     } else {
         opts.artifacts.clone()
     };
+    // Validate artifact names before running anything: a typo at the end
+    // of the list must not cost a full campaign first.
+    for name in &names {
+        if name != "bench" && !ALL.contains(&name.as_str()) {
+            eprintln!(
+                "error: unknown artifact {name:?} (artifacts: {} bench all)",
+                ALL.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
 
     let mut campaign = Campaign::new(opts.threads);
     campaign.set_trace(opts.trace.is_some());
+    campaign.set_profile(opts.profile.is_some() || opts.bench_json.is_some());
     if let Some(faults) = &opts.faults {
         campaign.set_faults(faults.clone());
     }
     let scale = opts.scale;
-    let t0 = std::time::Instant::now();
+    let mut timer = gridmon_bench::SelfTimer::start();
     for name in &names {
         match name.as_str() {
             "table1" => {
@@ -270,9 +339,25 @@ fn main() {
                     eprintln!("{failures} checks failed");
                 }
             }
-            other => {
-                eprintln!("unknown artifact {other:?} (see --help)");
-                std::process::exit(2);
+            "bench" => {
+                run_bench_suite(&mut campaign, scale, &mut timer);
+            }
+            _ => unreachable!("validated above"),
+        }
+    }
+    if let Some(path) = &opts.bench_json {
+        let results = run_bench_suite(&mut campaign, scale, &mut timer);
+        let report = harness::bench::BenchReport::from_results(
+            &results,
+            scale,
+            opts.threads,
+            timer.total_secs(),
+        );
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("perf baseline written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
             }
         }
     }
@@ -305,12 +390,49 @@ fn main() {
             Err(e) => eprintln!("warning: cannot write traces: {e}"),
         }
     }
+    if let Some(dir) = &opts.profile {
+        for (name, table) in campaign.profile_tables() {
+            let _ = name;
+            println!("{table}");
+        }
+        match campaign.write_profiles(dir) {
+            Ok(files) => eprintln!("{files} profile files written under {}", dir.display()),
+            Err(e) => eprintln!("warning: cannot write profiles: {e}"),
+        }
+    }
     eprintln!(
         "{} experiments, {:.1}s simulated-experiment wall time, {:.1}s total",
         campaign.runs(),
         campaign.wall_seconds,
-        t0.elapsed().as_secs_f64()
+        timer.total_secs()
     );
+}
+
+/// Run (or fetch memoized) the perf-baseline suite and print its
+/// summary table.
+fn run_bench_suite(
+    campaign: &mut Campaign,
+    scale: u32,
+    timer: &mut gridmon_bench::SelfTimer,
+) -> Vec<gridmon_core::ExperimentResult> {
+    let specs = gridmon_core::scenarios::bench_specs(scale);
+    let results = timer.span("bench-suite", || campaign.ensure(&specs));
+    let mut table = telemetry::Table::new(
+        "Perf baseline suite",
+        &["run", "sent", "received", "events", "RTT mean ms", "wall s"],
+    );
+    for r in &results {
+        table.push_row(vec![
+            r.name.clone(),
+            r.summary.sent.to_string(),
+            r.summary.received.to_string(),
+            r.events.to_string(),
+            format!("{:.2}", r.summary.rtt_mean_ms),
+            format!("{:.3}", r.wall_secs),
+        ]);
+    }
+    println!("{}", table.render());
+    results
 }
 
 fn emit_fig(

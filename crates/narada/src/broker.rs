@@ -152,9 +152,38 @@ impl Broker {
         self.node
     }
 
-    fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
+    fn cpu(&self, ctx: &mut Context<'_>, comp: simprof::Component, cost: SimDuration) -> SimTime {
         let node = self.node;
-        ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), cost))
+        ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), cost);
+            simprof::charge(ctx, comp, effective);
+            done
+        })
+    }
+
+    /// One CPU submission covering deserialize+route plus selector
+    /// matching; the profiler splits the effective cost between
+    /// `narada.route` and `narada.match` in proportion to the base
+    /// parts, so attribution conserves exactly.
+    fn cpu_matched(
+        &self,
+        ctx: &mut Context<'_>,
+        total: SimDuration,
+        match_part: SimDuration,
+    ) -> SimTime {
+        let node = self.node;
+        ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), total);
+            simprof::charge_split(
+                ctx,
+                simprof::Component::NaradaRoute,
+                simprof::Component::NaradaMatch,
+                effective,
+                match_part,
+                total,
+            );
+            done
+        })
     }
 
     fn per_byte(&self, bytes: usize) -> SimDuration {
@@ -189,7 +218,14 @@ impl Broker {
         });
         match accept_result {
             Ok(()) => {
-                let done = self.cpu(ctx, self.cfg.costs.broker_accept);
+                // Connection setup spawned a service thread: scheduler
+                // churn the profiler counts against `simos.sched`.
+                simprof::hit(ctx, simprof::Component::OsSched);
+                let done = self.cpu(
+                    ctx,
+                    simprof::Component::NaradaRoute,
+                    self.cfg.costs.broker_accept,
+                );
                 self.conns.insert(
                     conn,
                     ConnState {
@@ -231,6 +267,7 @@ impl Broker {
                 os.kill_thread(self.proc);
                 os.free(self.proc, heap);
             });
+            simprof::hit(ctx, simprof::Component::OsSched);
             self.engine.drop_connection(conn);
             self.gossip_interests(ctx);
         }
@@ -286,7 +323,11 @@ impl Broker {
             self.engine
                 .subscribe(&topic, conn, sub_id, selector, ack_mode);
         }
-        let done = self.cpu(ctx, self.cfg.costs.broker_accept / 2);
+        let done = self.cpu(
+            ctx,
+            simprof::Component::NaradaRoute,
+            self.cfg.costs.broker_accept / 2,
+        );
         self.send_to_client(
             ctx,
             conn,
@@ -341,7 +382,11 @@ impl Broker {
         // UDP transport reliability: ack every publish, including
         // duplicates (the original ack may have been lost).
         if transport == Transport::Udp {
-            let ack_done = self.cpu(ctx, self.cfg.costs.broker_ack_process);
+            let ack_done = self.cpu(
+                ctx,
+                simprof::Component::NaradaAck,
+                self.cfg.costs.broker_ack_process,
+            );
             self.send_to_client(
                 ctx,
                 conn,
@@ -390,7 +435,13 @@ impl Broker {
         if transport == Transport::Nio {
             cost += self.cfg.costs.nio_extra;
         }
-        let done = self.cpu(ctx, cost);
+        let done = simprof::profile_span!(ctx, simprof::Component::NaradaRoute, {
+            self.cpu_matched(ctx, cost, match_cost)
+        });
+        telemetry::with_metrics(ctx, |m, _| {
+            m.add_counter(&format!("narada.broker{broker}.publishes"), 1);
+            m.observe("narada.publish_cost_us", cost.as_micros());
+        });
 
         // Queue matching early-exits at the first eligible receiver, so
         // misses are only tracked for topic (fan-out) matching.
@@ -464,7 +515,11 @@ impl Broker {
         for m in matches {
             // Each delivery costs serialization on the broker.
             ready_at = self
-                .cpu(ctx, self.cfg.costs.broker_deliver_base)
+                .cpu(
+                    ctx,
+                    simprof::Component::NaradaTransport,
+                    self.cfg.costs.broker_deliver_base,
+                )
                 .max(ready_at);
             let bytes = deliver_bytes(message);
             let transport = self.conns.get(&m.conn).map(|c| c.transport);
@@ -500,6 +555,18 @@ impl Broker {
                 }
             }
         }
+        // Per-broker queue depth: deliveries awaiting client acks
+        // (CLIENT-ack UDP retention). Only computed when the metrics
+        // plane is on.
+        let broker_ix = self.my_ix;
+        let conns = &self.conns;
+        telemetry::with_metrics(ctx, |m, _| {
+            let depth: usize = conns.values().map(|c| c.pending.len()).sum();
+            m.set_gauge(
+                &format!("narada.broker{broker_ix}.pending_acks"),
+                depth as f64,
+            );
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -543,7 +610,11 @@ impl Broker {
                 }
             }
             let at = self
-                .cpu(ctx, self.cfg.costs.broker_deliver_base)
+                .cpu(
+                    ctx,
+                    simprof::Component::NaradaRoute,
+                    self.cfg.costs.broker_deliver_base,
+                )
                 .max(ready_at);
             let fwd = BrokerToBroker::Forward {
                 probe,
@@ -593,6 +664,7 @@ impl Broker {
             self.stats.borrow_mut().dup_publishes += 1;
             self.cpu(
                 ctx,
+                simprof::Component::NaradaRoute,
                 self.cfg.costs.broker_publish_base / 2 + self.per_byte(wire_bytes),
             );
             return;
@@ -610,7 +682,9 @@ impl Broker {
         });
         let (matches, match_cost) = self.engine.match_message(&topic, &message);
         let cost = self.cfg.costs.broker_publish_base + self.per_byte(wire_bytes) + match_cost;
-        let done = self.cpu(ctx, cost);
+        let done = simprof::profile_span!(ctx, simprof::Component::NaradaRoute, {
+            self.cpu_matched(ctx, cost, match_cost)
+        });
         let matched = matches.len() as u32;
         let missed = (self.engine.topic_len(&topic) as u32).saturating_sub(matched);
         self.record_selector_outcome(ctx, probe, matched, missed);
@@ -733,7 +807,11 @@ impl Broker {
                 continue;
             };
             ready_at = self
-                .cpu(ctx, self.cfg.costs.broker_deliver_base)
+                .cpu(
+                    ctx,
+                    simprof::Component::NaradaTransport,
+                    self.cfg.costs.broker_deliver_base,
+                )
                 .max(ready_at);
             let bytes = deliver_bytes(&e.message);
             let deliver = BrokerToClient::Deliver {
@@ -772,7 +850,11 @@ impl Broker {
 
     fn on_ack(&mut self, ctx: &mut Context<'_>, conn: ConnId, cumulative: u64, extra: Vec<u64>) {
         self.stats.borrow_mut().acks += 1;
-        let done = self.cpu(ctx, self.cfg.costs.broker_ack_process);
+        let done = self.cpu(
+            ctx,
+            simprof::Component::NaradaAck,
+            self.cfg.costs.broker_ack_process,
+        );
         let Some(state) = self.conns.get_mut(&conn) else {
             return;
         };

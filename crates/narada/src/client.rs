@@ -164,7 +164,11 @@ impl NaradaClientSet {
 
     fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
         let node = self.node;
-        ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), cost))
+        ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), cost);
+            simprof::charge(ctx, simprof::Component::NaradaTransport, effective);
+            done
+        })
     }
 
     fn serialize_cost(&self, bytes: usize) -> SimDuration {
@@ -805,6 +809,7 @@ impl NaradaClientSet {
             recv.dirty = false;
         }
         simfault::with_faults(ctx, |inj, _| inj.stats.reconnect_attempts += 1);
+        telemetry::with_metrics(ctx, |m, _| m.add_counter("narada.reconnect_attempts", 1));
         let broker_ep = state.broker_ep;
         let transport = state.settings.transport;
         let new = ctx.with_service::<NetworkFabric, _>(|net, ctx| {

@@ -240,8 +240,11 @@ impl RgmaClientSet {
         // Client-side HTTP assembly cost.
         let node = self.node;
         let client_cost = self.cfg.costs.client_http;
-        let done =
-            ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), client_cost));
+        let done = ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), client_cost);
+            simprof::charge(ctx, simprof::Component::RgmaClient, effective);
+            done
+        });
         let rid = self.req_id();
         self.pending.insert(rid, ReqPurpose::Insert(handle));
         self.insert_info.insert(
@@ -530,7 +533,9 @@ impl RgmaClientSet {
                         let cost =
                             self.cfg.costs.client_http + SimDuration::from_micros(50 * n as u64);
                         let done = ctx.with_service::<OsModel, _>(|os, ctx| {
-                            os.execute(node, ctx.now(), cost)
+                            let (done, effective) = os.execute_metered(node, ctx.now(), cost);
+                            simprof::charge(ctx, simprof::Component::RgmaClient, effective);
+                            done
                         });
                         let actor = ctx.self_id().index() as u64;
                         for (probe, _tuple) in entries {

@@ -114,9 +114,13 @@ impl ConsumerServlet {
         }
     }
 
-    fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
+    fn cpu(&self, ctx: &mut Context<'_>, comp: simprof::Component, cost: SimDuration) -> SimTime {
         let node = self.node;
-        ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), cost))
+        ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), cost);
+            simprof::charge(ctx, comp, effective);
+            done
+        })
     }
 
     fn ensure_thread(&mut self, ctx: &mut Context<'_>, conn: ConnId) -> Result<(), String> {
@@ -235,7 +239,11 @@ impl ConsumerServlet {
                 planned: HashSet::new(),
             },
         );
-        let done = self.cpu(ctx, self.cfg.costs.create_instance);
+        let done = self.cpu(
+            ctx,
+            simprof::Component::RgmaServlet,
+            self.cfg.costs.create_instance,
+        );
         // Announce the consumer to the registry (soft-state mode only),
         // then kick an immediate mediation pass for this instance.
         let table = self.instances[&cid].table.clone();
@@ -323,7 +331,11 @@ impl ConsumerServlet {
                 collected: Vec::new(),
             },
         );
-        self.cpu(ctx, self.cfg.costs.create_instance / 4);
+        self.cpu(
+            ctx,
+            simprof::Component::RgmaServlet,
+            self.cfg.costs.create_instance / 4,
+        );
         // Mediate: look the producers up, then fan the fetch out.
         let rid = self.next_req;
         self.next_req += 1;
@@ -401,6 +413,7 @@ impl ConsumerServlet {
         let n = entries.len() as u64;
         self.cpu(
             ctx,
+            simprof::Component::RgmaSelect,
             self.cfg.costs.chunk_ingest_base
                 + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n),
         );
@@ -439,7 +452,7 @@ impl ConsumerServlet {
         let n = entries.len() as u64;
         let cost = self.cfg.costs.poll_answer
             + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n / 2);
-        let done = self.cpu(ctx, cost);
+        let done = self.cpu(ctx, simprof::Component::RgmaSelect, cost);
         let bytes = poll_result_bytes(&entries);
         self.respond_at(
             ctx,
@@ -511,7 +524,7 @@ impl ConsumerServlet {
         let n = chunk.entries.len() as u64;
         let cost = self.cfg.costs.chunk_ingest_base
             + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n);
-        let done = self.cpu(ctx, cost);
+        let done = self.cpu(ctx, simprof::Component::RgmaSelect, cost);
         let Some(inst) = self.instances.get_mut(&chunk.consumer) else {
             return;
         };
@@ -555,6 +568,12 @@ impl ConsumerServlet {
             let heap = simos::Bytes(self.cfg.memory.heap_per_tuple.0 * accepted);
             let _ = ctx.with_service::<OsModel, _>(|os, _| os.alloc(self.proc, heap));
         }
+        // Servlet backlog: tuples buffered awaiting the next client poll.
+        let instances = &self.instances;
+        telemetry::with_metrics(ctx, |m, _| {
+            let backlog: usize = instances.values().map(|i| i.buffer.len()).sum();
+            m.set_gauge("rgma.consumer.buffered_tuples", backlog as f64);
+        });
     }
 
     fn on_poll(&mut self, ctx: &mut Context<'_>, conn: ConnId, req_id: u64, cid: ConsumerId) {
@@ -596,7 +615,7 @@ impl ConsumerServlet {
         }
         let cost = self.cfg.costs.poll_answer
             + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n / 2);
-        let done = self.cpu(ctx, cost);
+        let done = self.cpu(ctx, simprof::Component::RgmaSelect, cost);
         let bytes = poll_result_bytes(&entries);
         self.respond_at(
             ctx,
@@ -768,7 +787,11 @@ impl Actor for ConsumerServlet {
         let Ok(body) = body.downcast::<ConsumerRequest>() else {
             return;
         };
-        self.cpu(ctx, self.cfg.costs.servlet_dispatch);
+        self.cpu(
+            ctx,
+            simprof::Component::RgmaServlet,
+            self.cfg.costs.servlet_dispatch,
+        );
         match *body {
             ConsumerRequest::CreateConsumer { query } => {
                 self.on_create_consumer(ctx, conn, req_id, query)

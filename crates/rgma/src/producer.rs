@@ -83,9 +83,13 @@ impl ProducerServlet {
         }
     }
 
-    fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
+    fn cpu(&self, ctx: &mut Context<'_>, comp: simprof::Component, cost: SimDuration) -> SimTime {
         let node = self.node;
-        ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), cost))
+        ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), cost);
+            simprof::charge(ctx, comp, effective);
+            done
+        })
     }
 
     /// First request on a connection costs a Tomcat service thread; OOM
@@ -166,7 +170,11 @@ impl ProducerServlet {
                 storage: MemoryStorage::new(self.cfg.latest_retention, self.cfg.history_retention),
             },
         );
-        let done = self.cpu(ctx, self.cfg.costs.create_instance);
+        let done = self.cpu(
+            ctx,
+            simprof::Component::RgmaServlet,
+            self.cfg.costs.create_instance,
+        );
         // Register the instance with the registry (async; the instance is
         // immediately usable by its client, but invisible to consumers
         // until registration propagates — the warm-up window).
@@ -214,7 +222,11 @@ impl ProducerServlet {
             + SimDuration::from_micros(
                 (sql.len() as u64 * self.cfg.costs.insert_per_byte_ns).div_ceil(1000),
             );
-        let done = self.cpu(ctx, cost);
+        let done = self.cpu(ctx, simprof::Component::RgmaInsert, cost);
+        telemetry::with_metrics(ctx, |m, _| {
+            m.add_counter("rgma.inserts", 1);
+            m.observe("rgma.insert_cost_us", cost.as_micros());
+        });
         let result: Result<u32, String> = (|| {
             let inst = self
                 .instances
@@ -282,7 +294,11 @@ impl ProducerServlet {
         consumer: ConsumerId,
         producers: Vec<ProducerId>,
     ) {
-        let done = self.cpu(ctx, self.cfg.costs.servlet_dispatch);
+        let done = self.cpu(
+            ctx,
+            simprof::Component::RgmaServlet,
+            self.cfg.costs.servlet_dispatch,
+        );
         // Attach (or extend) the stream for this consumer: any instance of
         // `table` not yet covered gets a cursor at its current tail.
         let stream_ix = self
@@ -371,7 +387,7 @@ impl ProducerServlet {
         let n = entries.len() as u64;
         let cost = self.cfg.costs.poll_answer
             + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n / 2);
-        let done = self.cpu(ctx, cost);
+        let done = self.cpu(ctx, simprof::Component::RgmaSelect, cost);
         let bytes = crate::protocol::poll_result_bytes(&entries);
         self.respond_at(
             ctx,
@@ -412,7 +428,7 @@ impl ProducerServlet {
             let n = chunk.entries.len() as u64;
             let cost = self.cfg.costs.stream_send
                 + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n / 4);
-            let done = self.cpu(ctx, cost);
+            let done = self.cpu(ctx, simprof::Component::RgmaSelect, cost);
             let bytes = chunk_bytes(&chunk);
             ctx.with_service::<NetworkFabric, _>(|net, ctx| {
                 net.send_at(ctx, conn, ep, bytes, Box::new(chunk), done);
@@ -580,7 +596,11 @@ impl Actor for ProducerServlet {
             return;
         };
         // Base servlet dispatch cost applies to every request.
-        self.cpu(ctx, self.cfg.costs.servlet_dispatch);
+        self.cpu(
+            ctx,
+            simprof::Component::RgmaServlet,
+            self.cfg.costs.servlet_dispatch,
+        );
         match *body {
             ProducerRequest::CreateProducer { table } => {
                 self.on_create_producer(ctx, conn, req_id, table)

@@ -98,11 +98,13 @@ impl RegistryActor {
     ) {
         let node = self.node;
         let done: SimTime = ctx.with_service::<OsModel, _>(|os, ctx| {
-            os.execute(
+            let (done, effective) = os.execute_metered(
                 node,
                 ctx.now(),
                 self.cfg.costs.servlet_dispatch + self.cfg.costs.registry_op,
-            )
+            );
+            simprof::charge(ctx, simprof::Component::RgmaRegistry, effective);
+            done
         });
         let body = req.body.downcast::<RegistryRequest>();
         let resp = match body {

@@ -92,9 +92,13 @@ impl SecondaryProducer {
         }
     }
 
-    fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
+    fn cpu(&self, ctx: &mut Context<'_>, comp: simprof::Component, cost: SimDuration) -> SimTime {
         let node = self.node;
-        ctx.with_service::<OsModel, _>(|os, ctx| os.execute(node, ctx.now(), cost))
+        ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), cost);
+            simprof::charge(ctx, comp, effective);
+            done
+        })
     }
 
     fn req_id(&mut self) -> u64 {
@@ -181,7 +185,7 @@ impl SecondaryProducer {
             ctx.with_service::<OsModel, _>(|os, _| os.free(proc, heap));
             let cost = self.cfg.costs.insert_base
                 + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n);
-            let done = self.cpu(ctx, cost);
+            let done = self.cpu(ctx, simprof::Component::RgmaSecondary, cost);
             for (probe, tuple) in std::mem::take(&mut self.batch) {
                 self.storage.insert(tuple, probe, done);
             }
@@ -214,7 +218,11 @@ impl SecondaryProducer {
             }
             for (conn, chunk) in sends {
                 let bytes = chunk_bytes(&chunk);
-                let at = self.cpu(ctx, self.cfg.costs.stream_send);
+                let at = self.cpu(
+                    ctx,
+                    simprof::Component::RgmaSecondary,
+                    self.cfg.costs.stream_send,
+                );
                 ctx.with_service::<NetworkFabric, _>(|net, ctx| {
                     net.send_at(ctx, conn, ep, bytes, Box::new(chunk), at);
                 });
@@ -282,6 +290,7 @@ impl Actor for SecondaryProducer {
                 let n = chunk.entries.len() as u64;
                 self.cpu(
                     ctx,
+                    simprof::Component::RgmaSecondary,
                     self.cfg.costs.chunk_ingest_base
                         + SimDuration::from_micros(self.cfg.costs.per_tuple.as_micros() * n),
                 );
@@ -299,6 +308,9 @@ impl Actor for SecondaryProducer {
                         simtrace::EventKind::BatchEnqueue { occupancy },
                     );
                     tr.gauge_set(simtrace::Gauge::BatchOccupancy, u64::from(occupancy));
+                });
+                telemetry::with_metrics(ctx, |m, _| {
+                    m.set_gauge("rgma.secondary.batch_tuples", f64::from(occupancy));
                 });
                 return;
             }
@@ -335,7 +347,11 @@ impl Actor for SecondaryProducer {
                     consumer,
                     cursor: self.storage.tail_cursor(),
                 });
-                let done = self.cpu(ctx, self.cfg.costs.servlet_dispatch);
+                let done = self.cpu(
+                    ctx,
+                    simprof::Component::RgmaSecondary,
+                    self.cfg.costs.servlet_dispatch,
+                );
                 let ep = self.endpoint;
                 ctx.with_service::<NetworkFabric, _>(|net, ctx| {
                     net.send_at(

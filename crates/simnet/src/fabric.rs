@@ -296,6 +296,7 @@ impl NetworkFabric {
                 }
                 tr.gauge_set(simtrace::Gauge::NicBacklogUs, backlog_us);
             });
+            simprof::hit(ctx, simprof::Component::NetFabric);
             return None;
         }
 
@@ -334,6 +335,8 @@ impl NetworkFabric {
             tr.count(simtrace::Counter::NetFramesDelivered, 1);
             tr.gauge_set(simtrace::Gauge::NicBacklogUs, backlog_us);
         });
+        simprof::hit(ctx, simprof::Component::NetFabric);
+        simprof::hit(ctx, simprof::Component::NetLink);
         let delay = deliver_at.saturating_since(ctx.now());
         ctx.send_in(
             delay,

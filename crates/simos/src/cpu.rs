@@ -129,6 +129,13 @@ impl CpuServer {
     pub fn jobs(&self) -> u64 {
         self.jobs
     }
+
+    /// Sum of all effective (inflated) costs ever accepted — the
+    /// profiler's conservation target: every microsecond in here must
+    /// be attributed to exactly one component.
+    pub fn total_work(&self) -> SimDuration {
+        self.total_work
+    }
 }
 
 #[cfg(test)]

@@ -124,7 +124,8 @@ impl Actor for GcPauser {
         // queues behind it.
         let node = self.node;
         ctx.with_service::<OsModel, _>(|os, ctx| {
-            os.execute(node, ctx.now(), pause);
+            let (_, effective) = os.execute_metered(node, ctx.now(), pause);
+            simprof::charge(ctx, simprof::Component::OsGc, effective);
         });
         let actor = ctx.self_id().index() as u64;
         simtrace::with_trace(ctx, |tr, at| {

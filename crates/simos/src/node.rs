@@ -200,13 +200,37 @@ impl OsModel {
     /// fault-injected slowdown window is open the cost is scaled by the
     /// node's slowdown factor.
     pub fn execute(&mut self, node: NodeId, now: SimTime, cost: SimDuration) -> SimTime {
+        self.execute_metered(node, now, cost).0
+    }
+
+    /// Like [`OsModel::execute`], but also returns the *effective* cost
+    /// the CPU accepted (after slowdown and thread inflation) — what a
+    /// profiling site must charge so attribution conserves exactly
+    /// against [`OsModel::total_submitted_work`].
+    pub fn execute_metered(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        cost: SimDuration,
+    ) -> (SimTime, SimDuration) {
         let n = &mut self.nodes[node.0 as usize];
         let cost = if now < n.slow_until {
             cost.mul_f64(n.slow_factor)
         } else {
             cost
         };
-        n.cpu.execute(now, cost)
+        let before = n.cpu.total_work();
+        let done = n.cpu.execute(now, cost);
+        (done, n.cpu.total_work().saturating_sub(before))
+    }
+
+    /// Total effective CPU work ever submitted across all nodes — the
+    /// kernel's total simulated busy time (work still queued at the end
+    /// of a run counts: it was submitted and will be executed).
+    pub fn total_submitted_work(&self) -> SimDuration {
+        self.nodes
+            .iter()
+            .fold(SimDuration::ZERO, |acc, n| acc + n.cpu.total_work())
     }
 
     /// Open a CPU slowdown window on `node`: costs are multiplied by

@@ -99,10 +99,14 @@ impl Actor for VmstatSampler {
         let now = ctx.now();
         let window = now.saturating_since(self.last_at).as_micros() as f64;
         for (i, &node) in self.nodes.iter().enumerate() {
-            let (busy_now, mem) = {
+            let (busy_now, mem, backlog) = {
                 let os = ctx.service::<OsModel>();
                 let n = os.node(node);
-                (n.cpu.busy_integral(now), n.consumption().0)
+                (
+                    n.cpu.busy_integral(now),
+                    n.consumption().0,
+                    n.cpu.backlog(now),
+                )
             };
             let delta = busy_now.saturating_sub(self.last_busy[i]).as_micros() as f64;
             let idle = if window > 0.0 {
@@ -117,8 +121,34 @@ impl Actor for VmstatSampler {
                 idle,
                 mem_bytes: mem,
             });
+            // Feed the metrics plane (no-op unless a registry is
+            // registered): the CPU run-queue depth in time units is the
+            // model's per-node queue-depth signal.
+            telemetry::with_metrics(ctx, |m, _| {
+                let ix = node.0;
+                m.set_gauge(
+                    &format!("node{ix}.cpu_backlog_us"),
+                    backlog.as_micros() as f64,
+                );
+                m.set_gauge(&format!("node{ix}.idle"), idle);
+                m.set_gauge(&format!("node{ix}.mem_mb"), mem as f64 / (1024.0 * 1024.0));
+            });
         }
         self.last_at = now;
+        // Snapshot the metrics plane at the same instant (no-op unless a
+        // registry is registered): refresh the end-to-end backlog gauge
+        // from the RTT collector, then write one time-series row per
+        // counter/gauge. Riding the existing tick keeps profiled runs
+        // free of extra kernel events.
+        let in_flight = ctx
+            .try_service_mut::<telemetry::RttCollector>()
+            .map(|r| r.sent().saturating_sub(r.received()));
+        telemetry::with_metrics(ctx, |m, at| {
+            if let Some(v) = in_flight {
+                m.set_gauge("probes_in_flight", v as f64);
+            }
+            m.sample(at);
+        });
         ctx.timer(self.interval, Tick);
     }
 

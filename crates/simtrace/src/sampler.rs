@@ -46,6 +46,11 @@ impl TraceSampler {
 
 impl Actor for TraceSampler {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Sample at t=0 as well: an N-second run on an I-second cadence
+        // yields exactly N/I + 1 samples, with the baseline row making
+        // the first interval's deltas well-defined.
+        let now = ctx.now();
+        ctx.service_mut::<TraceCollector>().sample(now);
         ctx.timer(self.interval, Tick);
     }
 
@@ -74,6 +79,49 @@ mod tests {
         sim.run_until(SimTime::from_millis(3_500));
         let tr = sim.service::<TraceCollector>().unwrap();
         let at: Vec<u64> = tr.samples().iter().map(|s| s.at.as_micros()).collect();
-        assert_eq!(at, vec![1_000_000, 2_000_000, 3_000_000]);
+        assert_eq!(at, vec![0, 1_000_000, 2_000_000, 3_000_000]);
+    }
+
+    #[test]
+    fn n_seconds_yield_n_over_interval_plus_one_monotone_samples() {
+        use crate::event::Counter;
+        use simcore::{FnActor, Payload};
+        // A horizon that is an exact multiple of the cadence must produce
+        // exactly N/interval + 1 samples (t=0 baseline through t=N
+        // inclusive — the kernel processes events AT the horizon).
+        for (n_secs, interval_secs) in [(5u64, 1u64), (12, 3), (7, 1)] {
+            let mut sim = Simulation::new(7);
+            sim.add_service(TraceCollector::new());
+            sim.add_actor(TraceSampler::new(SimDuration::from_secs(interval_secs)));
+            // A worker bumps a counter every 700 ms so successive samples
+            // see strictly growing totals.
+            let worker = sim.add_actor(FnActor(|_m: Payload, ctx: &mut Context| {
+                ctx.service_mut::<TraceCollector>()
+                    .count(Counter::BrokerPublishes, 1);
+                ctx.timer(SimDuration::from_millis(700), ());
+            }));
+            sim.schedule(SimDuration::ZERO, worker, Box::new(()));
+            sim.run_until(SimTime::from_secs(n_secs));
+            let tr = sim.service::<TraceCollector>().unwrap();
+            let samples = tr.samples();
+            assert_eq!(
+                samples.len() as u64,
+                n_secs / interval_secs + 1,
+                "{n_secs}s at {interval_secs}s cadence"
+            );
+            for (i, s) in samples.iter().enumerate() {
+                assert_eq!(s.at.as_micros(), i as u64 * interval_secs * 1_000_000);
+            }
+            // Counters are cumulative: monotonically non-decreasing
+            // across samples, and growing over the whole run.
+            for w in samples.windows(2) {
+                for c in Counter::ALL {
+                    assert!(w[1].counter(c) >= w[0].counter(c), "{c:?} went backwards");
+                }
+            }
+            let first = samples.first().unwrap().counter(Counter::BrokerPublishes);
+            let last = samples.last().unwrap().counter(Counter::BrokerPublishes);
+            assert!(last > first, "worker kept publishing");
+        }
     }
 }

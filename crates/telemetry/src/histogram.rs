@@ -3,6 +3,8 @@
 //! worst-case relative quantile error under 1.6 % across the full
 //! microsecond-to-hours range the experiments produce.
 
+use crate::stats::Welford;
+
 /// Latency histogram over `u64` microsecond values.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
@@ -11,6 +13,10 @@ pub struct LatencyHistogram {
     total: u64,
     max_seen: u64,
     min_seen: u64,
+    /// Exact streaming moments alongside the bucketed counts, so
+    /// mean/stddev don't pay the bucket quantization error and callers
+    /// don't need a second accumulator.
+    moments: Welford,
 }
 
 const SUB_BITS: u32 = 6; // 64 sub-buckets per octave.
@@ -55,6 +61,7 @@ impl LatencyHistogram {
             total: 0,
             max_seen: 0,
             min_seen: u64::MAX,
+            moments: Welford::new(),
         }
     }
 
@@ -65,6 +72,19 @@ impl LatencyHistogram {
         self.total += 1;
         self.max_seen = self.max_seen.max(v);
         self.min_seen = self.min_seen.min(v);
+        self.moments.push(v as f64);
+    }
+
+    /// Exact mean of the recorded values (Welford-backed, not bucketed;
+    /// 0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Exact population standard deviation of the recorded values
+    /// (Welford-backed, not bucketed; 0 if empty).
+    pub fn stddev(&self) -> f64 {
+        self.moments.stddev()
     }
 
     /// Number of recorded values.
@@ -129,6 +149,7 @@ impl LatencyHistogram {
         self.total += other.total;
         self.max_seen = self.max_seen.max(other.max_seen);
         self.min_seen = self.min_seen.min(other.min_seen);
+        self.moments.merge(&other.moments);
     }
 }
 
@@ -237,6 +258,44 @@ mod tests {
         for q in [0.1, 0.5, 0.95, 1.0] {
             assert_eq!(a.quantile(q), whole.quantile(q));
         }
+    }
+
+    #[test]
+    fn mean_stddev_match_welford_exactly() {
+        // Same deterministic skewed stream into both accumulators: the
+        // histogram's moments must equal a standalone Welford bit for
+        // bit (same algorithm, same insertion order).
+        let mut h = LatencyHistogram::new();
+        let mut w = Welford::new();
+        let mut x = 42u64;
+        for i in 0..50_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 50 + (x % 100_000) + if i % 250 == 0 { 5_000_000 } else { 0 };
+            h.record(v);
+            w.push(v as f64);
+        }
+        assert_eq!(h.mean().to_bits(), w.mean().to_bits());
+        assert_eq!(h.stddev().to_bits(), w.stddev().to_bits());
+        // And merging preserves the identity (Welford merge on both sides).
+        let mut h2 = LatencyHistogram::new();
+        let mut w2 = Welford::new();
+        for v in [1u64, 10, 100] {
+            h2.record(v);
+            w2.push(v as f64);
+        }
+        h.merge(&h2);
+        w.merge(&w2);
+        assert_eq!(h.mean().to_bits(), w.mean().to_bits());
+        assert_eq!(h.stddev().to_bits(), w.stddev().to_bits());
+    }
+
+    #[test]
+    fn empty_histogram_moments() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.stddev(), 0.0);
     }
 
     #[test]

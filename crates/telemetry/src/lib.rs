@@ -10,14 +10,19 @@
 //! * [`LatencyHistogram`] — log-bucketed, <1.6 % relative quantile error.
 //! * [`RttCollector`] — the kernel service middleware code reports
 //!   instrumentation points to.
+//! * [`MetricsRegistry`] — the time-series metrics plane: named
+//!   counters/gauges/histograms sampled on the vmstat cadence, exported
+//!   as Prometheus text format and deterministic CSV.
 //! * [`Table`] / [`Figure`] — paper-style text and CSV rendering.
 
 pub mod histogram;
+pub mod metrics;
 pub mod report;
 pub mod rtt;
 pub mod stats;
 
 pub use histogram::LatencyHistogram;
+pub use metrics::{with_metrics, MetricsRegistry};
 pub use report::{degradation_table, trim_float, Figure, Series, Table};
 pub use rtt::{Conservation, ProbeId, ProbeInstants, RttCollector, RttSummary};
 pub use stats::Welford;

@@ -1,0 +1,230 @@
+//! Time-series metrics plane: named counters, gauges, and latency
+//! histograms sampled on the vmstat cadence.
+//!
+//! The paper's resource story is told in 1 s vmstat rows (CPU idle,
+//! memory); the metrics plane generalizes that cadence to middleware
+//! internals — per-broker queue depth, per-servlet backlog, in-flight
+//! count, reconnect attempts — and exports both Prometheus
+//! text-exposition format (end-of-run snapshot) and a deterministic
+//! long-format time-series CSV that lands next to the fig CSVs.
+//!
+//! Registered as a kernel service only when profiling/metrics are on;
+//! instrumentation sites go through [`with_metrics`] which reduces to a
+//! single failed type-map probe when the service is absent.
+
+use crate::histogram::LatencyHistogram;
+use crate::report::trim_float;
+use simcore::{Context, SimTime};
+use std::collections::BTreeMap;
+
+/// Registry of named metrics plus the sampled time series.
+///
+/// Names are dotted (`narada.broker0.queue_depth`); exporters sanitize
+/// them where the target format requires it. `BTreeMap` keys keep every
+/// export deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, LatencyHistogram>,
+    /// Long-format samples: (instant, metric, value).
+    series: Vec<(SimTime, String, f64)>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a monotonic counter (created at 0 on first use).
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Set an instantaneous gauge level.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if let Some(v) = self.gauges.get_mut(name) {
+            *v = value;
+        } else {
+            self.gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Record one observation (microseconds) into a latency histogram.
+    pub fn observe(&mut self, name: &str, micros: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(micros);
+        } else {
+            let mut h = LatencyHistogram::new();
+            h.record(micros);
+            self.hists.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current level of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Borrow a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.hists.get(name)
+    }
+
+    /// Snapshot every counter and gauge into the time series at `at`
+    /// (called by `simprof::MetricsSampler` on the vmstat cadence).
+    pub fn sample(&mut self, at: SimTime) {
+        for (name, &v) in &self.counters {
+            self.series.push((at, name.clone(), v as f64));
+        }
+        for (name, &v) in &self.gauges {
+            self.series.push((at, name.clone(), v));
+        }
+    }
+
+    /// The sampled time series, in (instant, registration-name) order.
+    pub fn series(&self) -> &[(SimTime, String, f64)] {
+        &self.series
+    }
+
+    /// Deterministic long-format CSV: `t_s,metric,value`, one row per
+    /// metric per sample instant.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("t_s,metric,value\n");
+        for (at, name, v) in &self.series {
+            out.push_str(&trim_float(at.as_micros() as f64 / 1e6));
+            out.push(',');
+            out.push_str(name);
+            out.push(',');
+            out.push_str(&trim_float(*v));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// End-of-run snapshot in Prometheus text exposition format.
+    /// Counters and gauges export their final value; histograms export
+    /// as summaries (p50/p95/p99 + `_sum`/`_count`, the sum backed by
+    /// the histogram's exact Welford mean).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, &v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, &v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", trim_float(v)));
+        }
+        for (name, h) in &self.hists {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                if let Some(v) = h.quantile(q) {
+                    out.push_str(&format!("{n}{{quantile=\"{label}\"}} {v}\n"));
+                }
+            }
+            let sum = (h.mean() * h.count() as f64).round() as u64;
+            out.push_str(&format!("{n}_sum {sum}\n{n}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]` only.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Run `f` against the metrics registry if one is registered; no-op
+/// (one failed type-map probe) otherwise — the same pattern as
+/// `simtrace::with_trace`, so metrics-off runs stay byte-identical.
+#[inline]
+pub fn with_metrics(ctx: &mut Context<'_>, f: impl FnOnce(&mut MetricsRegistry, SimTime)) {
+    let now = ctx.now();
+    if let Some(m) = ctx.try_service_mut::<MetricsRegistry>() {
+        f(m, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        m.add_counter("a.x", 2);
+        m.add_counter("a.x", 3);
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", 2.5);
+        m.observe("h_us", 100);
+        m.observe("h_us", 300);
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.counter("untouched"), 0);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.histogram("h_us").unwrap().count(), 2);
+        assert!((m.histogram("h_us").unwrap().mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_is_long_format_and_deterministic() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.add_counter("z.count", 1);
+            m.set_gauge("a.level", 3.0);
+            m.sample(SimTime::from_secs(1));
+            m.add_counter("z.count", 1);
+            m.sample(SimTime::from_secs(2));
+            m.csv()
+        };
+        let csv = build();
+        assert_eq!(build(), csv, "byte-deterministic");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,metric,value");
+        assert_eq!(lines[1], "1,z.count,1");
+        assert_eq!(lines[2], "1,a.level,3");
+        assert_eq!(lines[3], "2,z.count,2");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let mut m = MetricsRegistry::new();
+        m.add_counter("narada.broker0.publishes", 7);
+        m.set_gauge("probes_in_flight", 4.0);
+        for v in 1..=100u64 {
+            m.observe("insert_us", v * 10);
+        }
+        let p = m.prometheus();
+        assert!(
+            p.contains("# TYPE narada_broker0_publishes counter\n"),
+            "{p}"
+        );
+        assert!(p.contains("narada_broker0_publishes 7\n"));
+        assert!(p.contains("# TYPE probes_in_flight gauge\nprobes_in_flight 4\n"));
+        assert!(p.contains("# TYPE insert_us summary\n"));
+        assert!(p.contains("insert_us{quantile=\"0.5\"}"));
+        assert!(p.contains("insert_us_count 100\n"));
+        // sum = mean * count = 505 * 100.
+        assert!(p.contains("insert_us_sum 50500\n"), "{p}");
+    }
+}

@@ -15,6 +15,7 @@ pub use simcore;
 pub use simfault;
 pub use simnet;
 pub use simos;
+pub use simprof;
 pub use simtrace;
 pub use telemetry;
 pub use wire;

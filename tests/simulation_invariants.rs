@@ -191,6 +191,50 @@ proptest! {
         prop_assert_eq!(a.fault_stats, b.fault_stats);
     }
 
+    /// Zero overhead when off: a profiled run must be observationally
+    /// identical to an unprofiled one — same events, bit-identical RTTs,
+    /// byte-identical trace exports. The profiler only ever *reads* the
+    /// effective cost the CPU model already computed (`execute_metered`
+    /// diffs `total_work`), so turning it on may not move a single event.
+    #[test]
+    fn profiled_runs_are_byte_identical_to_plain(spec in arb_spec()) {
+        let plain = spec.clone().traced();
+        let profiled = spec.traced().profiled();
+        let a = run_experiment(&plain);
+        let b = run_experiment(&profiled);
+        prop_assert_eq!(a.summary.sent, b.summary.sent);
+        prop_assert_eq!(a.summary.received, b.summary.received);
+        prop_assert_eq!(a.summary.rtt_mean_ms.to_bits(), b.summary.rtt_mean_ms.to_bits());
+        prop_assert_eq!(a.summary.rtt_stddev_ms.to_bits(), b.summary.rtt_stddev_ms.to_bits());
+        prop_assert_eq!(a.events, b.events, "profiling may not add or move kernel events");
+        prop_assert!(a.profile.is_none(), "plain run must not carry profile artifacts");
+        let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+        prop_assert_eq!(&ta.jsonl, &tb.jsonl, "JSONL exports must be byte-identical");
+        prop_assert_eq!(&ta.chrome, &tb.chrome, "Chrome exports must be byte-identical");
+    }
+
+    /// Profiler conservation: the attributed self-time table must sum to
+    /// exactly the kernel's total submitted CPU work — every microsecond
+    /// any CPU executed is charged to exactly one component (same spirit
+    /// as `telemetry::Conservation` for messages).
+    #[test]
+    fn profiler_attributes_all_cpu_work(spec in arb_spec()) {
+        let r = run_experiment(&spec.profiled());
+        let p = r.profile.expect("profiled run carries artifacts");
+        prop_assert_eq!(
+            p.unattributed.as_micros(), 0,
+            "unattributed CPU work: {} of {} µs (a charge site is missing)",
+            p.unattributed.as_micros(), p.kernel_busy.as_micros()
+        );
+        prop_assert_eq!(p.attributed.as_micros(), p.kernel_busy.as_micros());
+        // The rendered table carries the conservation evidence: a TOTAL
+        // row equal to the kernel busy time.
+        prop_assert!(p.table.contains("TOTAL"), "table has a TOTAL footer");
+        // The metrics plane sampled something on the vmstat cadence.
+        prop_assert!(p.metrics_csv.starts_with("t_s,metric,value"));
+        prop_assert!(!p.prometheus.is_empty());
+    }
+
     /// An empty schedule must be indistinguishable from a build without
     /// fault support: no injector service, no recovery policies, and
     /// byte-identical trace exports (the determinism guard over the
