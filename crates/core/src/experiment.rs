@@ -91,6 +91,13 @@ pub struct ExperimentSpec {
     /// every charge site reduces to one failed type-map probe and the
     /// run is byte-identical to an unprofiled build.
     pub profile: bool,
+    /// Enable wall-clock hot-path attribution (`simscope`). Off by
+    /// default: no `WallScope` service is registered and the kernel's
+    /// internal timers stay disarmed, so every probe reduces to one
+    /// failed type-map probe or one `Option` check. Wall-clock reads
+    /// never touch the RNG or the event queue, so scoped runs are
+    /// byte-identical to plain runs at a fixed seed.
+    pub scope: bool,
 }
 
 impl ExperimentSpec {
@@ -117,6 +124,7 @@ impl ExperimentSpec {
             trace: false,
             faults: FaultSchedule::new(),
             profile: false,
+            scope: false,
         }
     }
 
@@ -130,6 +138,12 @@ impl ExperimentSpec {
     /// plane for this run.
     pub fn profiled(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Enable wall-clock hot-path attribution for this run.
+    pub fn scoped(mut self) -> Self {
+        self.scope = true;
         self
     }
 
@@ -196,6 +210,19 @@ pub struct ProfileArtifacts {
     pub unattributed: SimDuration,
 }
 
+/// Wall-clock hot-path artifacts produced by a scoped run
+/// (`spec.scope = true`).
+#[derive(Debug, Clone)]
+pub struct ScopeArtifacts {
+    /// The parsed per-site attribution report.
+    pub report: simscope::HotpathReport,
+    /// `gridmon-hotpath/1` JSON.
+    pub json: String,
+    /// Flamegraph-compatible collapsed-stack lines (simprof's format,
+    /// wall-clock microseconds).
+    pub collapsed: String,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -228,6 +255,13 @@ pub struct ExperimentResult {
     pub fault_stats: Option<FaultStats>,
     /// Profiler + metrics artifacts (only when `spec.profile` was set).
     pub profile: Option<ProfileArtifacts>,
+    /// Kernel event accounting (always on): per-type counts, timer vs.
+    /// message mix, queue-depth high-watermark and depth samples.
+    pub kernel: simcore::KernelStats,
+    /// Wall-clock hot-path attribution (only when `spec.scope` was set).
+    /// Non-deterministic by nature (wall-clock), but producing it never
+    /// perturbs the simulation.
+    pub scope: Option<ScopeArtifacts>,
     /// Host wall-clock seconds this run took (perf-baseline input; the
     /// only non-deterministic field).
     pub wall_secs: f64,
@@ -288,6 +322,13 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         sim.add_service(simprof::Profiler::new());
         sim.add_service(telemetry::MetricsRegistry::new());
     }
+    if spec.scope {
+        // Arm the kernel's internal dispatch/queue timers and register the
+        // service the simnet/narada probes look up. Wall-clock reads never
+        // touch simulation state, so this cannot change the run.
+        sim.enable_hotpath_timing();
+        sim.add_service(simscope::WallScope::new());
+    }
 
     // Server processes.
     let server_procs: Vec<ProcessId> = server_nodes
@@ -308,6 +349,11 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         .iter()
         .map(|&n| os.add_process(n, calibration::driver_process()))
         .collect();
+    if spec.scope {
+        // `execute_metered` has no Context access, so the OS model meters
+        // its own wall time instead of using the WallScope service.
+        os.enable_wall_metering();
+    }
     sim.add_service(os);
     sim.add_actor(VmstatSampler::new(
         SimDuration::from_secs(1),
@@ -656,6 +702,33 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         }
     });
 
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let scope = sim.hotpath().map(|hp| {
+        let mut report = simscope::HotpathReport::new(&spec.name, wall_secs);
+        report.push(simscope::Site::KernelDispatch.name(), hp.dispatch);
+        report.push(simscope::Site::KernelQueuePush.name(), hp.queue_push);
+        report.push(simscope::Site::KernelQueuePop.name(), hp.queue_pop);
+        if let Some(ws) = sim.service::<simscope::WallScope>() {
+            report.push(
+                simscope::Site::NetFabricSend.name(),
+                ws.get(simscope::Site::NetFabricSend),
+            );
+            report.push(
+                simscope::Site::JmsMatch.name(),
+                ws.get(simscope::Site::JmsMatch),
+            );
+        }
+        if let Some(os_wall) = sim.service::<OsModel>().and_then(|os| os.wall_metering()) {
+            report.push(simscope::Site::OsExecute.name(), os_wall);
+        }
+        ScopeArtifacts {
+            json: report.to_json(),
+            collapsed: report.collapsed(),
+            report,
+        }
+    });
+
+    let kernel = sim.stats();
     ExperimentResult {
         name: spec.name.clone(),
         generators: spec.generators,
@@ -667,11 +740,13 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         published,
         broker_forwards,
         sim_time: sim.now(),
-        events: sim.stats().events_processed,
+        events: kernel.events_processed,
         trace,
         fault_stats: sim.service::<FaultInjector>().map(|inj| inj.stats),
         profile,
-        wall_secs: wall_start.elapsed().as_secs_f64(),
+        kernel,
+        scope,
+        wall_secs,
     }
 }
 

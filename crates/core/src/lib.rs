@@ -18,8 +18,8 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use experiment::{
-    run_experiment, ExperimentResult, ExperimentSpec, ProfileArtifacts, SystemUnderTest,
-    TraceArtifacts,
+    run_experiment, ExperimentResult, ExperimentSpec, ProfileArtifacts, ScopeArtifacts,
+    SystemUnderTest, TraceArtifacts,
 };
 pub use simfault::{FaultKind, FaultSchedule, FaultStats};
 pub use sweep::run_all;

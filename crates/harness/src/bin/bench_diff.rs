@@ -1,0 +1,70 @@
+//! `bench_diff` — regression forensics for `gridmon-bench` reports.
+//!
+//! ```text
+//! bench_diff [--tolerance=F] [--hotpath-old=FILE] [--hotpath-new=FILE] OLD.json NEW.json
+//! ```
+//!
+//! Prints a markdown attribution report to stdout: per-scenario wall and
+//! events-per-sec deltas with workload-drift flags, kernel event-mix
+//! shifts (when both files are schema v2), and — when hotpath reports
+//! are supplied — a per-site wall-clock attribution table. Informational
+//! only: exits 0 whatever the deltas say, 2 on usage or parse errors.
+
+use harness::bench::{BenchReport, DEFAULT_TOLERANCE};
+use harness::diff;
+
+fn run(args: impl Iterator<Item = String>) -> Result<String, String> {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut hotpath_old = None;
+    let mut hotpath_new = None;
+    let mut files = Vec::new();
+    for a in args {
+        if let Some(v) = a.strip_prefix("--tolerance=") {
+            tolerance = v.parse().map_err(|e| format!("bad --tolerance: {e}"))?;
+        } else if let Some(v) = a.strip_prefix("--hotpath-old=") {
+            hotpath_old = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--hotpath-new=") {
+            hotpath_new = Some(v.to_owned());
+        } else if a.starts_with('-') {
+            return Err(format!(
+                "unknown option {a} (--tolerance=F, --hotpath-old=FILE, --hotpath-new=FILE)"
+            ));
+        } else {
+            files.push(a);
+        }
+    }
+    let [old, new] = files.as_slice() else {
+        return Err(
+            "usage: bench_diff [--tolerance=F] [--hotpath-old=FILE] [--hotpath-new=FILE] OLD.json NEW.json"
+                .into(),
+        );
+    };
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let base = BenchReport::parse(&read(old)?).map_err(|e| format!("{old}: {e}"))?;
+    let cand = BenchReport::parse(&read(new)?).map_err(|e| format!("{new}: {e}"))?;
+    let mut out = diff::render_markdown(&diff::diff(&base, &cand, tolerance));
+    match (hotpath_old, hotpath_new) {
+        (Some(ho), Some(hn)) => {
+            let hbase =
+                simscope::HotpathReport::parse(&read(&ho)?).map_err(|e| format!("{ho}: {e}"))?;
+            let hcand =
+                simscope::HotpathReport::parse(&read(&hn)?).map_err(|e| format!("{hn}: {e}"))?;
+            out.push_str(&diff::hotpath_markdown(&hbase, &hcand));
+        }
+        (None, None) => {}
+        _ => return Err("--hotpath-old and --hotpath-new must be given together".into()),
+    }
+    Ok(out)
+}
+
+fn main() {
+    match run(std::env::args().skip(1)) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

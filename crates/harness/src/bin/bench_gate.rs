@@ -4,11 +4,14 @@
 //! bench_gate [--tolerance=FRACTION] BASELINE.json CANDIDATE.json
 //! ```
 //!
-//! Both files must be `gridmon-bench/1` reports (see `repro
-//! --bench-json`). Exits 0 when the candidate's total wall time is
-//! within `tolerance` (default 0.15 = +15 %) of the baseline and the
+//! Both files must be `gridmon-bench` reports, schema v1 or v2 (see
+//! `repro --bench-json`). Exits 0 when the candidate's total wall time
+//! is within `tolerance` (default 0.15 = +15 %) of the baseline and the
 //! deterministic workload counters match; exits 1 on a regression and
-//! 2 on usage or parse errors.
+//! 2 on usage or parse errors. On failure the message names the
+//! breaching scenario and metric and appends the `bench_diff`
+//! attribution table, so the log explains the regression instead of
+//! just reporting it.
 
 use harness::bench::{gate, BenchReport, DEFAULT_TOLERANCE};
 
@@ -41,7 +44,11 @@ fn run(args: impl Iterator<Item = String>) -> Result<String, (i32, String)> {
     let cand = read_report(candidate)?;
     match gate(&base, &cand, tolerance) {
         Ok(report) => Ok(report),
-        Err(failures) => Err((1, failures.join("\n"))),
+        Err(failures) => {
+            let attribution =
+                harness::diff::render_markdown(&harness::diff::diff(&base, &cand, tolerance));
+            Err((1, format!("{}\n\n{attribution}", failures.join("\n"))))
+        }
     }
 }
 

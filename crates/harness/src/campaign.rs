@@ -9,6 +9,7 @@ pub struct Campaign {
     threads: usize,
     trace: bool,
     profile: bool,
+    scope: bool,
     faults: FaultSchedule,
     results: HashMap<String, ExperimentResult>,
     /// Wall-clock seconds spent running experiments.
@@ -22,6 +23,7 @@ impl Campaign {
             threads,
             trace: false,
             profile: false,
+            scope: false,
             faults: FaultSchedule::new(),
             results: HashMap::new(),
             wall_seconds: 0.0,
@@ -40,6 +42,12 @@ impl Campaign {
         self.profile = on;
     }
 
+    /// Enable wall-clock hot-path attribution (`simscope`) on every
+    /// spec this campaign runs from now on (`--scope`).
+    pub fn set_scope(&mut self, on: bool) {
+        self.scope = on;
+    }
+
     /// Inject this fault schedule into every spec this campaign runs
     /// from now on (`--faults <scenario>`).
     pub fn set_faults(&mut self, faults: FaultSchedule) {
@@ -55,6 +63,7 @@ impl Campaign {
             .map(|mut s| {
                 s.trace |= self.trace;
                 s.profile |= self.profile;
+                s.scope |= self.scope;
                 if s.faults.is_empty() {
                     s.faults = self.faults.clone();
                 }
@@ -159,6 +168,94 @@ impl Campaign {
         }
         Ok(files)
     }
+
+    /// Rendered hot-path attribution + kernel event-accounting summary
+    /// of every scoped run, sorted by run name (the `--scope` terminal
+    /// output).
+    pub fn scope_tables(&self) -> Vec<(String, String)> {
+        let mut rows: Vec<(String, String)> = self
+            .results
+            .iter()
+            .filter_map(|(name, r)| {
+                r.scope
+                    .as_ref()
+                    .map(|s| (name.clone(), render_scope(name, s, &r.kernel)))
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Write the hot-path artifacts of every scoped run under `dir`:
+    /// `<name>.hotpath.json` (`gridmon-hotpath/1`) and
+    /// `<name>.hotpath.collapsed.txt` (flamegraph collapsed stacks,
+    /// wall-clock microseconds). Returns the number of files written.
+    pub fn write_scopes(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        let mut files = 0;
+        let mut names: Vec<&String> = self.results.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let r = &self.results[name];
+            let Some(scope) = &r.scope else { continue };
+            std::fs::create_dir_all(dir)?;
+            let stem: String = name
+                .chars()
+                .map(|c| if c == '/' || c == ' ' { '_' } else { c })
+                .collect();
+            std::fs::write(dir.join(format!("{stem}.hotpath.json")), &scope.json)?;
+            std::fs::write(
+                dir.join(format!("{stem}.hotpath.collapsed.txt")),
+                &scope.collapsed,
+            )?;
+            files += 2;
+        }
+        Ok(files)
+    }
+}
+
+/// Terminal summary of one scoped run: a wall-clock hot-path table and
+/// the always-on kernel event accounting next to it, so a regression
+/// hunt starts from one screen of context.
+fn render_scope(
+    name: &str,
+    scope: &gridmon_core::ScopeArtifacts,
+    kernel: &simcore::KernelStats,
+) -> String {
+    let mut hot = telemetry::Table::new(
+        format!("Hot-path wall time — {name}"),
+        &["site", "ms", "count", "ns/op"],
+    );
+    for row in &scope.report.sites {
+        let ns_per_op = row.nanos.checked_div(row.count).unwrap_or(0);
+        hot.push_row(vec![
+            row.site.clone(),
+            format!("{:.3}", row.nanos as f64 / 1e6),
+            row.count.to_string(),
+            ns_per_op.to_string(),
+        ]);
+    }
+    let mut mix = telemetry::Table::new(
+        format!(
+            "Kernel event accounting — {name} (peak queue depth {}, {} timers / {} messages)",
+            kernel.peak_queue_depth, kernel.timer_scheduled, kernel.message_scheduled
+        ),
+        &["event type", "scheduled", "executed", "dropped", "timers"],
+    );
+    for t in &kernel.by_type {
+        mix.push_row(vec![
+            t.name.clone(),
+            t.scheduled.to_string(),
+            t.executed.to_string(),
+            t.dropped.to_string(),
+            t.timers.to_string(),
+        ]);
+    }
+    format!(
+        "{}\n(probe overhead ~{} ns/pair)\n\n{}",
+        hot.render(),
+        scope.report.probe_overhead_ns,
+        mix.render()
+    )
 }
 
 #[cfg(test)]

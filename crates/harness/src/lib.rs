@@ -8,5 +8,6 @@
 pub mod artifacts;
 pub mod bench;
 pub mod campaign;
+pub mod diff;
 
 pub use campaign::Campaign;

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [--scale=N] [--threads=N] [--out=DIR | --no-csv] [--trace[=DIR]]
-//!       [--faults=SCENARIO] [--profile[=DIR]] [--bench-json=FILE]
-//!       <artifact>...
+//!       [--faults=SCENARIO] [--profile[=DIR]] [--scope[=DIR]]
+//!       [--bench-json=FILE] <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 rgma-warmup
@@ -33,17 +33,27 @@
 //!                  `<run>.prom.txt` (Prometheus text exposition) and
 //!                  `<run>.metrics.csv` under DIR (default:
 //!                  results/prof/)
+//! --scope[=DIR]    attribute real wall-clock time to kernel hot paths
+//!                  (queue push/pop, dispatch, fabric delivery, OS
+//!                  metering, JMS selector matching) with `simscope`,
+//!                  print each run's hot-path + kernel event-accounting
+//!                  tables, and write `<run>.hotpath.json`
+//!                  (gridmon-hotpath/1) and `<run>.hotpath.collapsed.txt`
+//!                  (flamegraph collapsed stacks) under DIR (default:
+//!                  results/scope/); instrumented runs stay byte-identical
+//!                  to plain ones at the same seed
 //! --bench-json FILE  run the perf-baseline suite (`bench`) and write a
 //!                  schema-versioned machine-readable report
-//!                  (gridmon-bench/1) to FILE; compare against a
-//!                  committed baseline with `bench_gate`
+//!                  (gridmon-bench/2, with per-event-type kernel
+//!                  accounting) to FILE; compare against a committed
+//!                  baseline with `bench_gate` or `bench_diff`
 //! ```
 
 use harness::{artifacts, Campaign};
 use std::io::Write;
 
 const VALID_OPTIONS: &str = "--scale --threads --out --no-csv --trace[=DIR] \
-     --faults --profile[=DIR] --bench-json --help";
+     --faults --profile[=DIR] --scope[=DIR] --bench-json --help";
 
 struct Options {
     scale: u32,
@@ -51,6 +61,7 @@ struct Options {
     out: Option<std::path::PathBuf>,
     trace: Option<std::path::PathBuf>,
     profile: Option<std::path::PathBuf>,
+    scope: Option<std::path::PathBuf>,
     bench_json: Option<std::path::PathBuf>,
     faults: Option<gridmon_core::FaultSchedule>,
     artifacts: Vec<String>,
@@ -85,6 +96,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut out = Some(std::path::PathBuf::from("results"));
     let mut trace = None;
     let mut profile = None;
+    let mut scope = None;
     let mut bench_json = None;
     let mut faults = None;
     let mut artifacts = Vec::new();
@@ -133,6 +145,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     None => "results/prof".to_owned(),
                 }));
             }
+            "--scope" => {
+                scope = Some(std::path::PathBuf::from(match inline {
+                    Some(dir) if !dir.is_empty() => dir,
+                    Some(_) => return Err("--scope= needs a directory (or bare --scope)".into()),
+                    None => "results/scope".to_owned(),
+                }));
+            }
             "--bench-json" => {
                 bench_json = Some(std::path::PathBuf::from(take_value(
                     "--bench-json",
@@ -164,6 +183,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         out,
         trace,
         profile,
+        scope,
         bench_json,
         faults,
         artifacts,
@@ -223,7 +243,7 @@ fn main() {
             "repro — regenerate the IPPS 2007 pub/sub study artifacts\n\n\
              usage: repro [--scale=N] [--threads=N] [--out=DIR | --no-csv] \
              [--trace[=DIR]] [--faults=SCENARIO] [--profile[=DIR]] \
-             [--bench-json=FILE] <artifact>...\n\n\
+             [--scope[=DIR]] [--bench-json=FILE] <artifact>...\n\n\
              artifacts: {} bench all\n\
              fault scenarios: {}",
             ALL.join(" "),
@@ -251,6 +271,7 @@ fn main() {
     let mut campaign = Campaign::new(opts.threads);
     campaign.set_trace(opts.trace.is_some());
     campaign.set_profile(opts.profile.is_some() || opts.bench_json.is_some());
+    campaign.set_scope(opts.scope.is_some());
     if let Some(faults) = &opts.faults {
         campaign.set_faults(faults.clone());
     }
@@ -400,6 +421,15 @@ fn main() {
             Err(e) => eprintln!("warning: cannot write profiles: {e}"),
         }
     }
+    if let Some(dir) = &opts.scope {
+        for (_name, summary) in campaign.scope_tables() {
+            println!("{summary}");
+        }
+        match campaign.write_scopes(dir) {
+            Ok(files) => eprintln!("{files} hot-path files written under {}", dir.display()),
+            Err(e) => eprintln!("warning: cannot write hot-path reports: {e}"),
+        }
+    }
     eprintln!(
         "{} experiments, {:.1}s simulated-experiment wall time, {:.1}s total",
         campaign.runs(),
@@ -419,7 +449,16 @@ fn run_bench_suite(
     let results = timer.span("bench-suite", || campaign.ensure(&specs));
     let mut table = telemetry::Table::new(
         "Perf baseline suite",
-        &["run", "sent", "received", "events", "RTT mean ms", "wall s"],
+        &[
+            "run",
+            "sent",
+            "received",
+            "events",
+            "peak depth",
+            "timers",
+            "RTT mean ms",
+            "wall s",
+        ],
     );
     for r in &results {
         table.push_row(vec![
@@ -427,6 +466,8 @@ fn run_bench_suite(
             r.summary.sent.to_string(),
             r.summary.received.to_string(),
             r.events.to_string(),
+            r.kernel.peak_queue_depth.to_string(),
+            r.kernel.timer_scheduled.to_string(),
             format!("{:.2}", r.summary.rtt_mean_ms),
             format!("{:.3}", r.wall_secs),
         ]);

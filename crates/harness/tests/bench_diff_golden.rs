@@ -1,0 +1,156 @@
+//! Golden tests for `bench_diff`: run the real binary against committed
+//! fixture report pairs and assert on the rendered attribution. The
+//! fixtures double as format anchors — each must survive a
+//! parse → re-serialize round trip byte-identically, so any accidental
+//! change to the emitters breaks these tests before it breaks CI logs.
+
+use harness::bench::BenchReport;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Run the `bench_diff` binary; returns (exit code, stdout, stderr).
+fn bench_diff(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .expect("bench_diff runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+#[test]
+fn fixtures_roundtrip_byte_identically() {
+    for name in [
+        "base_v2.json",
+        "regression_v2.json",
+        "improvement_v2.json",
+        "drift_v2.json",
+        "base_v1.json",
+    ] {
+        let text = std::fs::read_to_string(fixture(name)).unwrap();
+        let parsed = BenchReport::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed.to_json(), text, "{name} is not emitter-exact");
+    }
+    for name in ["hotpath_old.json", "hotpath_new.json"] {
+        let text = std::fs::read_to_string(fixture(name)).unwrap();
+        let parsed = simscope::HotpathReport::parse(&text).unwrap();
+        assert_eq!(parsed.to_json(), text, "{name} is not emitter-exact");
+    }
+}
+
+#[test]
+fn regression_pair_names_the_offender() {
+    let (code, out, _) = bench_diff(&[&fixture("base_v2.json"), &fixture("regression_v2.json")]);
+    assert_eq!(code, 0, "bench_diff is informational");
+    assert!(
+        out.contains("Total wall: 3.000s → 3.600s (+20.0%)"),
+        "{out}"
+    );
+    // The regressed scenario is flagged on its own row…
+    let tcp_row = out
+        .lines()
+        .find(|l| l.contains("bench/narada-tcp"))
+        .expect("scenario row present");
+    assert!(tcp_row.contains("REGRESSION"), "{tcp_row}");
+    assert!(tcp_row.contains("+60.0%"), "{tcp_row}");
+    // …and the untouched ones are not.
+    let udp_row = out
+        .lines()
+        .find(|l| l.contains("bench/narada-udp"))
+        .unwrap();
+    assert!(!udp_row.contains("REGRESSION"), "{udp_row}");
+    // Kernel accounting renders for v2-vs-v2 pairs.
+    assert!(out.contains("Kernel event accounting"), "{out}");
+    assert!(out.contains("900 → 900"), "peak depth column: {out}");
+}
+
+#[test]
+fn improvement_pair_is_flagged_as_improvement() {
+    let (code, out, _) = bench_diff(&[&fixture("base_v2.json"), &fixture("improvement_v2.json")]);
+    assert_eq!(code, 0);
+    let tcp_row = out
+        .lines()
+        .find(|l| l.contains("bench/narada-tcp"))
+        .unwrap();
+    assert!(tcp_row.contains("improvement"), "{tcp_row}");
+    assert!(tcp_row.contains("-50.0%"), "{tcp_row}");
+    assert!(!out.contains("REGRESSION"), "{out}");
+}
+
+#[test]
+fn workload_drift_names_metrics_and_type_shifts() {
+    let (code, out, _) = bench_diff(&[&fixture("base_v2.json"), &fixture("drift_v2.json")]);
+    assert_eq!(code, 0);
+    let udp_row = out
+        .lines()
+        .find(|l| l.contains("bench/narada-udp"))
+        .unwrap();
+    assert!(udp_row.contains("WORKLOAD DRIFT"), "{udp_row}");
+    assert!(udp_row.contains("sent 16000→17000"), "{udp_row}");
+    assert!(udp_row.contains("received 15800→16800"), "{udp_row}");
+    assert!(udp_row.contains("events 900000→950000"), "{udp_row}");
+    // The kernel table attributes the drift to the event type that grew.
+    assert!(out.contains("Delivery 599800→649800"), "{out}");
+}
+
+#[test]
+fn v1_baseline_gets_schema_note_without_kernel_table() {
+    let (code, out, _) = bench_diff(&[&fixture("base_v1.json"), &fixture("base_v2.json")]);
+    assert_eq!(code, 0);
+    assert!(out.contains("**schema:**"), "{out}");
+    assert!(out.contains("baseline is gridmon-bench/1"), "{out}");
+    assert!(
+        !out.contains("Kernel event accounting"),
+        "no kernel table when one side lacks the rows: {out}"
+    );
+}
+
+#[test]
+fn hotpath_pair_attributes_the_wall_delta() {
+    let (code, out, _) = bench_diff(&[
+        &format!("--hotpath-old={}", fixture("hotpath_old.json")),
+        &format!("--hotpath-new={}", fixture("hotpath_new.json")),
+        &fixture("base_v2.json"),
+        &fixture("regression_v2.json"),
+    ]);
+    assert_eq!(code, 0);
+    assert!(
+        out.contains("Hot-path attribution — bench/narada-tcp (probe overhead 25 → 30 ns/op)"),
+        "{out}"
+    );
+    // dispatch grew 400 ms of the 510 ms total |Δ| (78%), jms.match the
+    // other 110 ms (22%); unchanged sites attribute 0%.
+    let dispatch = out.lines().find(|l| l.contains("kernel.dispatch")).unwrap();
+    assert!(dispatch.contains("+400.0"), "{dispatch}");
+    assert!(dispatch.contains("78%"), "{dispatch}");
+    let jms = out.lines().find(|l| l.contains("jms.match")).unwrap();
+    assert!(jms.contains("+110.0"), "{jms}");
+    assert!(jms.contains("22%"), "{jms}");
+    let push = out
+        .lines()
+        .find(|l| l.contains("kernel.queue.push"))
+        .unwrap();
+    assert!(push.contains("+0.0"), "{push}");
+}
+
+#[test]
+fn usage_and_parse_errors_exit_2() {
+    let (code, _, err) = bench_diff(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"), "{err}");
+    let (code, _, err) = bench_diff(&[&fixture("base_v2.json")]);
+    assert_eq!(code, 2, "{err}");
+    let (code, _, err) = bench_diff(&[
+        &format!("--hotpath-old={}", fixture("hotpath_old.json")),
+        &fixture("base_v2.json"),
+        &fixture("base_v2.json"),
+    ]);
+    assert_eq!(code, 2);
+    assert!(err.contains("together"), "{err}");
+}

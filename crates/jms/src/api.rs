@@ -59,6 +59,11 @@ pub struct Selector {
     text: String,
     expr: Expr,
     nodes: usize,
+    /// Compile-time tautology flag: empty/whitespace selectors match
+    /// everything, and they dominate the broker's matching hot loop (the
+    /// fleet's default subscription is `match_all`), so `matches` skips
+    /// the AST walk for them.
+    matches_all: bool,
 }
 
 impl Selector {
@@ -70,6 +75,7 @@ impl Selector {
             text: text.to_owned(),
             expr,
             nodes,
+            matches_all: text.trim().is_empty(),
         })
     }
 
@@ -89,7 +95,11 @@ impl Selector {
     }
 
     /// Does `msg` match? (UNKNOWN rejects, per JMS.)
+    #[inline]
     pub fn matches(&self, msg: &Message) -> bool {
+        if self.matches_all {
+            return true;
+        }
         selector::matches(&self.expr, msg)
     }
 

@@ -425,12 +425,14 @@ impl Broker {
         // forwarded through the broker network (queues live on the broker
         // they were created on).
         let topic = message.headers.destination.clone();
+        let match_t0 = simscope::start(ctx);
         let (matches, match_cost) = if queue {
             let (hit, cost) = self.engine.match_queue(&topic, &message);
             (hit.into_iter().collect(), cost)
         } else {
             self.engine.match_message(&topic, &message)
         };
+        simscope::record(ctx, simscope::Site::JmsMatch, match_t0);
         let mut cost = self.cfg.costs.broker_publish_base + self.per_byte(wire_bytes) + match_cost;
         if transport == Transport::Nio {
             cost += self.cfg.costs.nio_extra;
@@ -680,7 +682,9 @@ impl Broker {
                 simtrace::EventKind::BrokerRecv { broker },
             );
         });
+        let match_t0 = simscope::start(ctx);
         let (matches, match_cost) = self.engine.match_message(&topic, &message);
+        simscope::record(ctx, simscope::Site::JmsMatch, match_t0);
         let cost = self.cfg.costs.broker_publish_base + self.per_byte(wire_bytes) + match_cost;
         let done = simprof::profile_span!(ctx, simprof::Component::NaradaRoute, {
             self.cpu_matched(ctx, cost, match_cost)

@@ -5,12 +5,21 @@
 //! scheduled (FIFO by sequence number). This makes simulations bit-exactly
 //! reproducible: the heap order never depends on allocation addresses or
 //! hash iteration order.
+//!
+//! The queue also keeps always-on, allocation-free accounting: per-payload-
+//! type scheduled/executed/dropped counts, the timer vs. message mix, and
+//! the queue-depth high-watermark. Counting happens on the schedule/pop
+//! path with one `HashMap<TypeId, u16>` probe per schedule (amortised O(1),
+//! no allocation after the first event of each type) and plain integer
+//! increments elsewhere, so it is cheap enough to leave on for every run.
 
 use crate::actor::ActorId;
 use crate::time::SimTime;
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// Opaque payload delivered to an actor. Actors downcast to their own
 /// message enum.
@@ -26,6 +35,8 @@ pub struct ScheduledEvent {
     pub target: ActorId,
     /// Message payload.
     pub payload: Payload,
+    /// Index into the queue's per-type accounting table.
+    pub(crate) type_ix: u16,
 }
 
 impl PartialEq for ScheduledEvent {
@@ -52,12 +63,69 @@ impl Ord for ScheduledEvent {
     }
 }
 
+/// Lifetime counters for one payload type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTypeStat {
+    /// Short payload type name (e.g. `Delivery`), or `<untyped>` for events
+    /// scheduled through the raw (already-boxed) paths.
+    pub name: String,
+    /// Events of this type ever scheduled.
+    pub scheduled: u64,
+    /// Events of this type dispatched to a live actor.
+    pub executed: u64,
+    /// Events of this type dropped (target retired or never registered).
+    pub dropped: u64,
+    /// Of `scheduled`, how many were timer self-sends.
+    pub timers: u64,
+}
+
+#[derive(Default)]
+struct TypeAccount {
+    name: Option<&'static str>,
+    scheduled: u64,
+    executed: u64,
+    dropped: u64,
+    timers: u64,
+}
+
+/// Wall-clock accumulator for one instrumented hot-path site: total
+/// monotonic nanoseconds and the number of timed operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WallAccum {
+    /// Total wall-clock nanoseconds spent in the site.
+    pub nanos: u64,
+    /// Number of timed operations.
+    pub count: u64,
+}
+
+impl WallAccum {
+    /// Fold one timed operation into the accumulator.
+    #[inline]
+    pub fn add(&mut self, nanos: u64) {
+        self.nanos += nanos;
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+struct QueueWall {
+    push: WallAccum,
+    pop: WallAccum,
+}
+
 /// Time-ordered queue of scheduled events.
 #[derive(Default)]
 pub struct EventQueue {
     heap: BinaryHeap<ScheduledEvent>,
     next_seq: u64,
     scheduled_total: u64,
+    timer_scheduled: u64,
+    peak_depth: usize,
+    type_ix: HashMap<TypeId, u16>,
+    types: Vec<TypeAccount>,
+    /// Wall-clock push/pop timing; `None` (the default) keeps both probes
+    /// off the hot path entirely.
+    wall: Option<Box<QueueWall>>,
 }
 
 impl EventQueue {
@@ -68,6 +136,22 @@ impl EventQueue {
 
     /// Push an event; assigns the deterministic sequence number.
     pub fn schedule(&mut self, at: SimTime, target: ActorId, payload: Payload) {
+        self.schedule_tagged(at, target, payload, None, false);
+    }
+
+    /// Push an event carrying accounting tags: the payload's type name (if
+    /// statically known at the call site) and whether it is a timer
+    /// self-send. [`schedule`](Self::schedule) delegates here with no tags.
+    pub fn schedule_tagged(
+        &mut self,
+        at: SimTime,
+        target: ActorId,
+        payload: Payload,
+        name: Option<&'static str>,
+        timer: bool,
+    ) {
+        let t0 = self.wall.as_ref().map(|_| Instant::now());
+        let type_ix = self.account_scheduled(payload.as_ref().type_id(), name, timer);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
@@ -76,12 +160,59 @@ impl EventQueue {
             seq,
             target,
             payload,
+            type_ix,
         });
+        if self.heap.len() > self.peak_depth {
+            self.peak_depth = self.heap.len();
+        }
+        if let (Some(t0), Some(w)) = (t0, self.wall.as_mut()) {
+            w.push.add(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn account_scheduled(&mut self, tid: TypeId, name: Option<&'static str>, timer: bool) -> u16 {
+        let ix = match self.type_ix.get(&tid) {
+            Some(&ix) => ix as usize,
+            None => {
+                let ix = self.types.len();
+                // u16 bounds the taxonomy at 65k distinct payload types; the
+                // whole stack defines a few dozen.
+                let packed = u16::try_from(ix).expect("too many distinct payload types");
+                self.type_ix.insert(tid, packed);
+                self.types.push(TypeAccount::default());
+                ix
+            }
+        };
+        let acct = &mut self.types[ix];
+        if acct.name.is_none() {
+            acct.name = name;
+        }
+        acct.scheduled += 1;
+        if timer {
+            acct.timers += 1;
+            self.timer_scheduled += 1;
+        }
+        ix as u16
     }
 
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        let t0 = self.wall.as_ref().map(|_| Instant::now());
+        let ev = self.heap.pop();
+        if let (Some(t0), Some(w)) = (t0, self.wall.as_mut()) {
+            w.pop.add(t0.elapsed().as_nanos() as u64);
+        }
+        ev
+    }
+
+    /// Record that a popped event was dispatched to a live actor.
+    pub(crate) fn note_executed(&mut self, type_ix: u16) {
+        self.types[type_ix as usize].executed += 1;
+    }
+
+    /// Record that a popped event was dropped (target retired or missing).
+    pub(crate) fn note_dropped(&mut self, type_ix: u16) {
+        self.types[type_ix as usize].dropped += 1;
     }
 
     /// Time of the earliest pending event.
@@ -103,6 +234,68 @@ impl EventQueue {
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
     }
+
+    /// Of all scheduled events, how many were timer self-sends.
+    pub fn timer_scheduled(&self) -> u64 {
+        self.timer_scheduled
+    }
+
+    /// High-watermark of pending events.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Per-payload-type accounting snapshot, sorted by scheduled count
+    /// descending then name (deterministic regardless of `TypeId` hashing).
+    pub fn type_stats(&self) -> Vec<EventTypeStat> {
+        let mut rows: Vec<EventTypeStat> = self
+            .types
+            .iter()
+            .map(|t| EventTypeStat {
+                name: t
+                    .name
+                    .map_or_else(|| "<untyped>".to_owned(), short_type_name),
+                scheduled: t.scheduled,
+                executed: t.executed,
+                dropped: t.dropped,
+                timers: t.timers,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.scheduled.cmp(&a.scheduled).then(a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Turn on wall-clock timing of heap push/pop. Off by default; when off
+    /// the only hot-path cost is one `Option` discriminant check.
+    pub fn enable_wall_timing(&mut self) {
+        if self.wall.is_none() {
+            self.wall = Some(Box::default());
+        }
+    }
+
+    /// Wall-clock totals for (push, pop), if timing was enabled.
+    pub fn wall_timing(&self) -> Option<(WallAccum, WallAccum)> {
+        self.wall.as_ref().map(|w| (w.push, w.pop))
+    }
+}
+
+/// Strip module paths from a `std::any::type_name` string:
+/// `narada::protocol::BrokerMsg` becomes `BrokerMsg`, including inside
+/// generic arguments.
+fn short_type_name(full: &'static str) -> String {
+    let mut out = String::new();
+    let mut ident = String::new();
+    for c in full.chars() {
+        if c.is_alphanumeric() || c == '_' || c == ':' {
+            ident.push(c);
+        } else {
+            out.push_str(ident.rsplit("::").next().unwrap_or(&ident));
+            ident.clear();
+            out.push(c);
+        }
+    }
+    out.push_str(ident.rsplit("::").next().unwrap_or(&ident));
+    out
 }
 
 #[cfg(test)]
@@ -160,5 +353,62 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn type_accounting_sums_to_scheduled_total() {
+        let mut q = EventQueue::new();
+        q.schedule_tagged(SimTime::ZERO, aid(0), Box::new(1u32), Some("u32"), false);
+        q.schedule_tagged(SimTime::ZERO, aid(0), Box::new(2u32), Some("u32"), true);
+        q.schedule_tagged(SimTime::ZERO, aid(0), Box::new("s"), Some("&str"), false);
+        q.schedule(SimTime::ZERO, aid(0), Box::new(3.0f64));
+        let stats = q.type_stats();
+        let scheduled: u64 = stats.iter().map(|s| s.scheduled).sum();
+        assert_eq!(scheduled, q.scheduled_total());
+        assert_eq!(q.timer_scheduled(), 1);
+        assert_eq!(q.peak_depth(), 4);
+        let u32_row = stats.iter().find(|s| s.name == "u32").unwrap();
+        assert_eq!(u32_row.scheduled, 2);
+        assert_eq!(u32_row.timers, 1);
+        // The raw path gets the fallback display name.
+        assert!(stats.iter().any(|s| s.name == "<untyped>"));
+    }
+
+    #[test]
+    fn executed_and_dropped_tallies() {
+        let mut q = EventQueue::new();
+        q.schedule_tagged(SimTime::ZERO, aid(0), Box::new(1u32), Some("u32"), false);
+        q.schedule_tagged(SimTime::ZERO, aid(0), Box::new(2u32), Some("u32"), false);
+        let a = q.pop().unwrap();
+        q.note_executed(a.type_ix);
+        let b = q.pop().unwrap();
+        q.note_dropped(b.type_ix);
+        let stats = q.type_stats();
+        assert_eq!(stats[0].executed, 1);
+        assert_eq!(stats[0].dropped, 1);
+    }
+
+    #[test]
+    fn wall_timing_counts_operations() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.wall_timing(), None);
+        q.enable_wall_timing();
+        q.schedule(SimTime::ZERO, aid(0), Box::new(()));
+        q.schedule(SimTime::ZERO, aid(0), Box::new(()));
+        q.pop();
+        let (push, pop) = q.wall_timing().unwrap();
+        assert_eq!(push.count, 2);
+        assert_eq!(pop.count, 1);
+    }
+
+    #[test]
+    fn short_type_name_strips_paths() {
+        assert_eq!(short_type_name("narada::protocol::BrokerMsg"), "BrokerMsg");
+        assert_eq!(
+            short_type_name("alloc::vec::Vec<core::option::Option<u32>>"),
+            "Vec<Option<u32>>"
+        );
+        assert_eq!(short_type_name("()"), "()");
+        assert_eq!(short_type_name("u32"), "u32");
     }
 }

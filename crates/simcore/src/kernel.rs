@@ -2,20 +2,54 @@
 //! through which actors touch the world.
 
 use crate::actor::{Actor, ActorId};
-use crate::event::{EventQueue, Payload};
+use crate::event::{EventQueue, EventTypeStat, Payload, WallAccum};
 use crate::rng::SimRng;
 use crate::service::ServiceMap;
 use crate::time::{SimDuration, SimTime};
+use std::time::Instant;
 
-/// Kernel run statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Kernel run statistics: a snapshot built on demand from the always-on
+/// event accounting inside the kernel and its queue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Events dispatched so far.
     pub events_processed: u64,
     /// Events dropped because their target actor was never registered or
     /// has been deactivated.
     pub events_dropped: u64,
+    /// Total events ever scheduled (monotonic).
+    pub scheduled_total: u64,
+    /// Of `scheduled_total`, how many were timer self-sends
+    /// ([`Context::timer`]).
+    pub timer_scheduled: u64,
+    /// Of `scheduled_total`, how many were ordinary messages.
+    pub message_scheduled: u64,
+    /// High-watermark of pending events.
+    pub peak_queue_depth: u64,
+    /// Per-payload-type counters, sorted by scheduled count descending then
+    /// name.
+    pub by_type: Vec<EventTypeStat>,
+    /// Queue depth sampled over virtual time, roughly once per virtual
+    /// second (coarsened adaptively so the vector stays bounded).
+    pub depth_samples: Vec<(SimTime, u64)>,
 }
+
+/// Wall-clock totals for the kernel's own hot paths, populated only after
+/// [`Simulation::enable_hotpath_timing`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelHotpath {
+    /// Time inside actor `handle` callbacks (event dispatch).
+    pub dispatch: WallAccum,
+    /// Time pushing onto the event heap.
+    pub queue_push: WallAccum,
+    /// Time popping from the event heap.
+    pub queue_pop: WallAccum,
+}
+
+/// Depth-over-virtual-time sampling stops coarsening only once the sample
+/// vector would exceed this many entries; past it, every other sample is
+/// dropped and the interval doubles.
+const DEPTH_SAMPLE_CAP: usize = 2048;
 
 /// Why a `run_*` call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,9 +71,14 @@ pub struct Simulation {
     actors: Vec<ActorSlot>,
     services: ServiceMap,
     rng: SimRng,
-    stats: KernelStats,
+    events_processed: u64,
+    events_dropped: u64,
     /// Events dispatched per actor (diagnostics / hot-actor tracing).
     dispatch_counts: Vec<u64>,
+    depth_interval: SimDuration,
+    next_depth_sample: SimTime,
+    depth_samples: Vec<(SimTime, u64)>,
+    dispatch_wall: Option<WallAccum>,
     started: bool,
 }
 
@@ -52,8 +91,13 @@ impl Simulation {
             actors: Vec::new(),
             services: ServiceMap::new(),
             rng: SimRng::new(seed),
-            stats: KernelStats::default(),
+            events_processed: 0,
+            events_dropped: 0,
             dispatch_counts: Vec::new(),
+            depth_interval: SimDuration::from_secs(1),
+            next_depth_sample: SimTime::ZERO,
+            depth_samples: Vec::new(),
+            dispatch_wall: None,
             started: false,
         }
     }
@@ -63,9 +107,45 @@ impl Simulation {
         self.now
     }
 
-    /// Kernel statistics so far.
+    /// Kernel statistics so far: a snapshot of the always-on event
+    /// accounting (per-type counts, timer/message mix, queue-depth
+    /// high-watermark and depth-over-time samples).
     pub fn stats(&self) -> KernelStats {
-        self.stats
+        let scheduled_total = self.queue.scheduled_total();
+        let timer_scheduled = self.queue.timer_scheduled();
+        KernelStats {
+            events_processed: self.events_processed,
+            events_dropped: self.events_dropped,
+            scheduled_total,
+            timer_scheduled,
+            message_scheduled: scheduled_total - timer_scheduled,
+            peak_queue_depth: self.queue.peak_depth() as u64,
+            by_type: self.queue.type_stats(),
+            depth_samples: self.depth_samples.clone(),
+        }
+    }
+
+    /// Turn on wall-clock timing of the kernel's own hot paths (event
+    /// dispatch and queue push/pop). Off by default; when off the only cost
+    /// is one `Option` discriminant check per site.
+    pub fn enable_hotpath_timing(&mut self) {
+        if self.dispatch_wall.is_none() {
+            self.dispatch_wall = Some(WallAccum::default());
+        }
+        self.queue.enable_wall_timing();
+    }
+
+    /// Wall-clock hot-path totals, if [`enable_hotpath_timing`] was called.
+    ///
+    /// [`enable_hotpath_timing`]: Simulation::enable_hotpath_timing
+    pub fn hotpath(&self) -> Option<KernelHotpath> {
+        let dispatch = self.dispatch_wall?;
+        let (queue_push, queue_pop) = self.queue.wall_timing().unwrap_or_default();
+        Some(KernelHotpath {
+            dispatch,
+            queue_push,
+            queue_pop,
+        })
     }
 
     /// Events dispatched to one actor so far.
@@ -174,10 +254,13 @@ impl Simulation {
         };
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
+        self.sample_depth();
         let ix = ev.target.index();
+        let type_ix = ev.type_ix;
         let taken = self.actors.get_mut(ix).and_then(|s| s.take());
         match taken {
             Some(mut actor) => {
+                let t0 = self.dispatch_wall.as_ref().map(|_| Instant::now());
                 let mut ctx = Context {
                     now: self.now,
                     self_id: ev.target,
@@ -188,20 +271,44 @@ impl Simulation {
                     started: self.started,
                 };
                 actor.handle(ev.payload, &mut ctx);
+                if let (Some(t0), Some(w)) = (t0, self.dispatch_wall.as_mut()) {
+                    w.add(t0.elapsed().as_nanos() as u64);
+                }
                 // The slot is still None (actors are only ever inserted at
                 // fresh indices while running), so this cannot clobber.
                 self.actors[ix] = Some(actor);
-                self.stats.events_processed += 1;
+                self.events_processed += 1;
+                self.queue.note_executed(type_ix);
                 if self.dispatch_counts.len() <= ix {
                     self.dispatch_counts.resize(ix + 1, 0);
                 }
                 self.dispatch_counts[ix] += 1;
             }
             None => {
-                self.stats.events_dropped += 1;
+                self.events_dropped += 1;
+                self.queue.note_dropped(type_ix);
             }
         }
         true
+    }
+
+    /// Record one queue-depth sample if the sampling cadence is due.
+    /// Bounded: hitting [`DEPTH_SAMPLE_CAP`] drops every other sample and
+    /// doubles the interval.
+    fn sample_depth(&mut self) {
+        if self.now < self.next_depth_sample {
+            return;
+        }
+        self.depth_samples.push((self.now, self.queue.len() as u64));
+        self.next_depth_sample = self.now + self.depth_interval;
+        if self.depth_samples.len() >= DEPTH_SAMPLE_CAP {
+            let mut keep = false;
+            self.depth_samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.depth_interval = self.depth_interval.saturating_mul(2);
+        }
     }
 
     /// Run until the queue is empty or `horizon` is reached. Events at
@@ -233,9 +340,9 @@ impl Simulation {
     /// protection.
     pub fn run_to_completion(&mut self, max_events: u64) -> RunOutcome {
         self.ensure_started();
-        let start = self.stats.events_processed + self.stats.events_dropped;
+        let start = self.events_processed + self.events_dropped;
         while !self.queue.is_empty() {
-            if self.stats.events_processed + self.stats.events_dropped - start >= max_events {
+            if self.events_processed + self.events_dropped - start >= max_events {
                 return RunOutcome::EventLimit;
             }
             self.step();
@@ -277,8 +384,25 @@ impl Context<'_> {
     ///
     /// [`send_raw_in`]: Context::send_raw_in
     pub fn send_in<T: std::any::Any>(&mut self, delay: SimDuration, target: ActorId, value: T) {
-        self.queue
-            .schedule(self.now + delay, target, Box::new(value));
+        self.schedule_typed(delay, target, value, false);
+    }
+
+    /// Shared typed scheduling path: captures the payload type name (for the
+    /// kernel's per-type event accounting) before boxing erases it.
+    fn schedule_typed<T: std::any::Any>(
+        &mut self,
+        delay: SimDuration,
+        target: ActorId,
+        value: T,
+        timer: bool,
+    ) {
+        self.queue.schedule_tagged(
+            self.now + delay,
+            target,
+            Box::new(value),
+            Some(std::any::type_name::<T>()),
+            timer,
+        );
     }
 
     /// Send a message to `target` at the current instant (fires after all
@@ -292,10 +416,11 @@ impl Context<'_> {
         self.queue.schedule(self.now + delay, target, payload);
     }
 
-    /// Send a message to self after `delay` (a timer).
+    /// Send a message to self after `delay` (a timer). Counted separately
+    /// from ordinary messages in the kernel's event accounting.
     pub fn timer<T: std::any::Any>(&mut self, delay: SimDuration, value: T) {
         let me = self.self_id;
-        self.send_in(delay, me, value);
+        self.schedule_typed(delay, me, value, true);
     }
 
     /// Spawn a new actor mid-simulation; `on_start` runs immediately.
@@ -570,6 +695,69 @@ mod tests {
         assert_eq!(top[0].0, busy);
         assert_eq!(top[0].2, 5);
         assert_eq!(sim.dispatch_count(ActorId::from_index(99)), 0);
+    }
+
+    #[test]
+    fn stats_type_counts_sum_to_scheduled_total() {
+        #[derive(Debug)]
+        struct Ping;
+        struct Echo;
+        impl Actor for Echo {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.timer(SimDuration::from_secs(1), Tick(0));
+            }
+            fn handle(&mut self, msg: Payload, ctx: &mut Context<'_>) {
+                if msg.downcast_ref::<Tick>().is_some() {
+                    let me = ctx.self_id();
+                    ctx.send_now(me, Ping);
+                }
+            }
+        }
+        let mut sim = Simulation::new(42);
+        let e = sim.add_actor(Echo);
+        let ghost = ActorId::from_index(77);
+        sim.schedule(SimDuration::from_secs(2), ghost, Box::new(()));
+        sim.schedule(SimDuration::from_secs(3), e, Box::new(Tick(9)));
+        sim.run_to_completion(100);
+
+        let stats = sim.stats();
+        let by_type_scheduled: u64 = stats.by_type.iter().map(|t| t.scheduled).sum();
+        let by_type_executed: u64 = stats.by_type.iter().map(|t| t.executed).sum();
+        let by_type_dropped: u64 = stats.by_type.iter().map(|t| t.dropped).sum();
+        assert_eq!(by_type_scheduled, stats.scheduled_total);
+        assert_eq!(by_type_executed, stats.events_processed);
+        assert_eq!(by_type_dropped, stats.events_dropped);
+        assert_eq!(
+            stats.timer_scheduled + stats.message_scheduled,
+            stats.scheduled_total
+        );
+        // One timer from on_start; the sim.schedule / send_now paths are
+        // messages.
+        assert_eq!(stats.timer_scheduled, 1);
+        assert_eq!(stats.events_dropped, 1);
+        assert!(stats.peak_queue_depth >= 1);
+        assert!(!stats.depth_samples.is_empty());
+        // Typed sends carry their short type names; raw schedule() is
+        // <untyped>.
+        assert!(stats.by_type.iter().any(|t| t.name == "Ping"));
+        assert!(stats.by_type.iter().any(|t| t.name == "Tick"));
+        assert!(stats.by_type.iter().any(|t| t.name == "<untyped>"));
+    }
+
+    #[test]
+    fn hotpath_timing_is_gated_and_counts_dispatches() {
+        let mut sim = Simulation::new(13);
+        assert_eq!(sim.hotpath(), None);
+        sim.enable_hotpath_timing();
+        let a = sim.add_actor(crate::actor::NullActor);
+        for i in 0..4u64 {
+            sim.schedule(SimDuration::from_secs(i), a, Box::new(()));
+        }
+        sim.run_to_completion(100);
+        let hp = sim.hotpath().unwrap();
+        assert_eq!(hp.dispatch.count, 4);
+        assert_eq!(hp.queue_push.count, 4);
+        assert_eq!(hp.queue_pop.count, 4);
     }
 
     #[test]

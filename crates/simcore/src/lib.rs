@@ -28,8 +28,8 @@ pub mod service;
 pub mod time;
 
 pub use actor::{Actor, ActorId, FnActor, NullActor};
-pub use event::{EventQueue, Payload, ScheduledEvent};
-pub use kernel::{Context, KernelStats, RunOutcome, Simulation};
+pub use event::{EventQueue, EventTypeStat, Payload, ScheduledEvent, WallAccum};
+pub use kernel::{Context, KernelHotpath, KernelStats, RunOutcome, Simulation};
 pub use rng::SimRng;
 pub use service::ServiceMap;
 pub use time::{SimDuration, SimTime};

@@ -229,6 +229,24 @@ impl NetworkFabric {
         payload: Payload,
         start_at: SimTime,
     ) -> Option<SimTime> {
+        // Wall-clock attribution of the whole fabric path (segmentation,
+        // loss/jitter draws, NIC FIFO, delivery scheduling); no-op unless a
+        // simscope::WallScope service is registered.
+        let t0 = simscope::start(ctx);
+        let out = self.send_at_inner(ctx, conn, from, bytes, payload, start_at);
+        simscope::record(ctx, simscope::Site::NetFabricSend, t0);
+        out
+    }
+
+    fn send_at_inner(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        from: Endpoint,
+        bytes: usize,
+        payload: Payload,
+        start_at: SimTime,
+    ) -> Option<SimTime> {
         let now = ctx.now().max(start_at);
         let c = &self.conns[conn.0 as usize];
         assert!(!c.closed, "send on closed connection {conn:?}");

@@ -140,6 +140,13 @@ impl ProcessSpec {
 #[derive(Default)]
 pub struct OsModel {
     nodes: Vec<Node>,
+    /// Gated wall-clock metering of [`OsModel::execute_metered`]; `None`
+    /// (the default) keeps the hot path down to one discriminant check.
+    /// `execute_metered` has no kernel [`Context`] access, so it cannot
+    /// use the simscope service and accumulates internally instead.
+    ///
+    /// [`Context`]: simcore::Context
+    wall: Option<simcore::WallAccum>,
 }
 
 impl OsModel {
@@ -213,6 +220,7 @@ impl OsModel {
         now: SimTime,
         cost: SimDuration,
     ) -> (SimTime, SimDuration) {
+        let t0 = self.wall.as_ref().map(|_| std::time::Instant::now());
         let n = &mut self.nodes[node.0 as usize];
         let cost = if now < n.slow_until {
             cost.mul_f64(n.slow_factor)
@@ -221,7 +229,24 @@ impl OsModel {
         };
         let before = n.cpu.total_work();
         let done = n.cpu.execute(now, cost);
-        (done, n.cpu.total_work().saturating_sub(before))
+        let out = (done, n.cpu.total_work().saturating_sub(before));
+        if let (Some(t0), Some(w)) = (t0, self.wall.as_mut()) {
+            w.add(t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    /// Turn on wall-clock metering of [`OsModel::execute_metered`]. Off by
+    /// default.
+    pub fn enable_wall_metering(&mut self) {
+        if self.wall.is_none() {
+            self.wall = Some(simcore::WallAccum::default());
+        }
+    }
+
+    /// Wall-clock totals for CPU metering, if enabled.
+    pub fn wall_metering(&self) -> Option<simcore::WallAccum> {
+        self.wall
     }
 
     /// Total effective CPU work ever submitted across all nodes — the

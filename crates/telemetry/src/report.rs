@@ -66,6 +66,42 @@ impl Table {
         out
     }
 
+    /// GitHub-flavored markdown rendering: `### title`, then a pipe
+    /// table. Cells containing `|` are escaped.
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}\n", self.title);
+        }
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
     /// CSV rendering (headers + rows; minimal quoting).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -232,6 +268,19 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new("t", &["a", "b"]);
         t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn markdown_renders_pipe_table() {
+        let mut t = Table::new("Attribution", &["site", "Δ ms"]);
+        t.push_row(vec!["jms.match".into(), "+12.5".into()]);
+        t.push_row(vec!["a|b".into(), "0".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Attribution\n"));
+        assert!(md.contains("| site | Δ ms |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| jms.match | +12.5 |"));
+        assert!(md.contains("| a\\|b | 0 |"));
     }
 
     #[test]

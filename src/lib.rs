@@ -16,6 +16,7 @@ pub use simfault;
 pub use simnet;
 pub use simos;
 pub use simprof;
+pub use simscope;
 pub use simtrace;
 pub use telemetry;
 pub use wire;

@@ -213,6 +213,43 @@ proptest! {
         prop_assert_eq!(&ta.chrome, &tb.chrome, "Chrome exports must be byte-identical");
     }
 
+    /// Zero interference from wall-clock scoping: a scoped run must be
+    /// observationally identical to an unscoped one — same events,
+    /// bit-identical RTTs, byte-identical trace AND profile exports.
+    /// The hot-path probes only read the monotonic clock; they never
+    /// touch the RNG, the event queue, or actor state, so arming them
+    /// may not move a single event. The always-on kernel accounting is
+    /// identical on both sides for the same reason.
+    #[test]
+    fn scoped_runs_are_byte_identical_to_plain(spec in arb_spec()) {
+        let plain = spec.clone().traced().profiled();
+        let scoped = spec.traced().profiled().scoped();
+        let a = run_experiment(&plain);
+        let b = run_experiment(&scoped);
+        prop_assert_eq!(a.summary.sent, b.summary.sent);
+        prop_assert_eq!(a.summary.received, b.summary.received);
+        prop_assert_eq!(a.summary.rtt_mean_ms.to_bits(), b.summary.rtt_mean_ms.to_bits());
+        prop_assert_eq!(a.summary.rtt_stddev_ms.to_bits(), b.summary.rtt_stddev_ms.to_bits());
+        prop_assert_eq!(a.events, b.events, "scoping may not add or move kernel events");
+        prop_assert_eq!(&a.kernel, &b.kernel,
+            "kernel event accounting must not change under scoping");
+        prop_assert!(a.scope.is_none(), "plain run must not carry hot-path artifacts");
+        let scope = b.scope.expect("scoped run carries hot-path artifacts");
+        let parsed = gridmon::simscope::HotpathReport::parse(&scope.json)
+            .expect("exported hotpath JSON parses");
+        prop_assert_eq!(parsed.to_json(), scope.json, "hotpath JSON re-generates byte-stably");
+        let dispatch = scope.report.site("kernel.dispatch").expect("dispatch site present");
+        prop_assert_eq!(dispatch.count, a.events, "one dispatch timing per kernel event");
+        let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+        prop_assert_eq!(&ta.jsonl, &tb.jsonl, "JSONL exports must be byte-identical");
+        prop_assert_eq!(&ta.chrome, &tb.chrome, "Chrome exports must be byte-identical");
+        let (pa, pb) = (a.profile.expect("profiled"), b.profile.expect("profiled"));
+        prop_assert_eq!(&pa.collapsed, &pb.collapsed,
+            "virtual-time flamegraphs must be byte-identical");
+        prop_assert_eq!(&pa.metrics_csv, &pb.metrics_csv,
+            "metric time series must be byte-identical");
+    }
+
     /// Profiler conservation: the attributed self-time table must sum to
     /// exactly the kernel's total submitted CPU work — every microsecond
     /// any CPU executed is charged to exactly one component (same spirit
