@@ -138,6 +138,71 @@ pub fn rgma_distributed_specs(msgs: u32) -> Vec<ExperimentSpec> {
         .collect()
 }
 
+/// gridlog: single-broker scalability series for the third contender
+/// (same workload shape as the Narada series; the batching/long-poll
+/// pipeline trades per-message latency for per-connection cost).
+pub fn gridlog_single_specs(msgs: u32) -> Vec<ExperimentSpec> {
+    [500usize, 1000, 2000]
+        .into_iter()
+        .map(|n| {
+            ExperimentSpec::paper_default(
+                format!("gridlog/single/{n}"),
+                SystemUnderTest::GridlogSingle,
+                n,
+            )
+            .scaled(msgs)
+        })
+        .collect()
+}
+
+/// Three-way comparison: the identical workload (400 generators — the
+/// largest all three deployments accept — same period, same payload,
+/// same seed) across Narada, R-GMA, and gridlog. The basis of the
+/// EXPERIMENTS.md RTT + crash-loss comparison.
+pub fn three_way_specs(msgs: u32) -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec::paper_default("compare/narada", SystemUnderTest::NaradaSingle, 400)
+            .scaled(msgs),
+        ExperimentSpec::paper_default("compare/rgma", SystemUnderTest::RgmaSingle, 400)
+            .scaled(msgs),
+        ExperimentSpec::paper_default("compare/gridlog", SystemUnderTest::GridlogSingle, 400)
+            .scaled(msgs),
+    ]
+}
+
+/// The outage leg of the three-way comparison: the [`three_way_specs`]
+/// workload with each contender's analogous mid-run outage injected.
+/// Narada and gridlog lose their broker at t = 120 s (restart 150 s);
+/// R-GMA has no broker, so its equivalent is the 20 s producer-servlet
+/// stall. The fourth spec re-runs gridlog with CLIENT_ACKNOWLEDGE,
+/// which maps onto committed-offset resume: the consumer group replays
+/// the crash window from the durable log and loses nothing.
+pub fn three_way_outage_specs(msgs: u32) -> Vec<ExperimentSpec> {
+    let crash = simfault::FaultSchedule::scenario("broker-crash").expect("known scenario");
+    let stall = simfault::FaultSchedule::scenario("servlet-stall").expect("known scenario");
+    let mut narada =
+        ExperimentSpec::paper_default("compare/narada+crash", SystemUnderTest::NaradaSingle, 400)
+            .scaled(msgs);
+    narada.faults = crash.clone();
+    let mut rgma =
+        ExperimentSpec::paper_default("compare/rgma+stall", SystemUnderTest::RgmaSingle, 400)
+            .scaled(msgs);
+    rgma.faults = stall;
+    let mut gridlog =
+        ExperimentSpec::paper_default("compare/gridlog+crash", SystemUnderTest::GridlogSingle, 400)
+            .scaled(msgs);
+    gridlog.faults = crash.clone();
+    let mut committed = ExperimentSpec::paper_default(
+        "compare/gridlog-committed+crash",
+        SystemUnderTest::GridlogSingle,
+        400,
+    )
+    .scaled(msgs);
+    committed.ack_mode = AckMode::Client;
+    committed.faults = crash;
+    vec![narada, rgma, gridlog, committed]
+}
+
 /// The perf-baseline suite (`repro bench`): one representative spec per
 /// deployment shape, small enough to run on CI yet exercising every
 /// mechanism (both transports, the DBN flood, the servlet chain).
@@ -161,6 +226,8 @@ pub fn bench_specs(msgs: u32) -> Vec<ExperimentSpec> {
         ExperimentSpec::paper_default("bench/rgma-dist", SystemUnderTest::RgmaDistributed, 800)
             .scaled(msgs),
         ExperimentSpec::paper_default("bench/rgma-secondary", SystemUnderTest::RgmaSecondary, 100)
+            .scaled(msgs),
+        ExperimentSpec::paper_default("bench/gridlog", SystemUnderTest::GridlogSingle, 800)
             .scaled(msgs),
     ]
 }
@@ -293,6 +360,38 @@ mod tests {
         assert_eq!(narada_single_4000(10).generators, 4000);
         assert_eq!(rgma_single_800(10).generators, 800);
         assert_eq!(fig15_specs(10).len(), 2);
+    }
+
+    #[test]
+    fn gridlog_series_and_three_way_share_the_workload() {
+        let gl = gridlog_single_specs(10);
+        assert_eq!(gl.len(), 3);
+        assert!(gl
+            .iter()
+            .all(|s| s.system == SystemUnderTest::GridlogSingle));
+        let tw = three_way_specs(10);
+        assert_eq!(tw.len(), 3);
+        // Identical workload and seed across the three contenders.
+        for s in &tw {
+            assert_eq!(s.generators, 400);
+            assert_eq!(s.seed, tw[0].seed);
+            assert_eq!(s.publish_interval, tw[0].publish_interval);
+            assert_eq!(s.msgs_per_generator, tw[0].msgs_per_generator);
+        }
+        assert!(bench_specs(5)
+            .iter()
+            .any(|s| s.system == SystemUnderTest::GridlogSingle));
+        // The outage leg keeps the workload and flips only the fault
+        // schedule (plus the ack axis on the committed-offset spec).
+        let ow = three_way_outage_specs(10);
+        assert_eq!(ow.len(), 4);
+        for s in &ow {
+            assert_eq!(s.generators, 400);
+            assert_eq!(s.seed, tw[0].seed);
+            assert!(!s.faults.is_empty());
+        }
+        assert_eq!(ow[3].ack_mode, AckMode::Client);
+        assert_eq!(ow[2].system, SystemUnderTest::GridlogSingle);
     }
 
     #[test]

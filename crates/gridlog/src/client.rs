@@ -1,0 +1,980 @@
+//! Client-side gridlog sessions: a [`GridlogClientSet`] manages many
+//! logical connections — batching producers and consumer-group members —
+//! inside one host actor, mirroring the narada client set so the driver
+//! programs look identical across middlewares.
+//!
+//! Host-actor contract: forward [`simnet::Delivery`] payloads to
+//! [`GridlogClientSet::handle_delivery`] and [`ClientTimer`] payloads to
+//! [`GridlogClientSet::handle_timer`]; both return [`ClientEvent`]s for
+//! the host to act on.
+
+use crate::config::{GridlogConfig, OffsetReset, ReconnectPolicy};
+use crate::protocol::{
+    offsets_bytes, produce_bytes, BrokerToClient, ClientToBroker, ProducerRecord,
+    CONTROL_FRAME_BYTES, RECORD_OVERHEAD_BYTES,
+};
+use simcore::{Context, SimDuration, SimTime};
+use simnet::{ConnId, Delivery, Endpoint, NetworkFabric, Transport};
+use simos::{NodeId, OsModel};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use telemetry::{ProbeId, RttCollector};
+use wire::Message;
+
+/// Timer payload the host actor must route back via `handle_timer`.
+pub struct ClientTimer(pub u64);
+
+/// Events surfaced to the host actor.
+#[derive(Debug, PartialEq)]
+pub enum ClientEvent {
+    /// Connection established.
+    Connected(ConnId),
+    /// Connection refused by the broker (OOM).
+    Refused(ConnId, String),
+    /// The consumer received a (new) partition assignment.
+    Assigned {
+        /// Connection.
+        conn: ConnId,
+        /// Assignment epoch.
+        epoch: u64,
+        /// Partitions now owned.
+        partitions: Vec<u32>,
+    },
+    /// A fetched record was handed to the listener.
+    RecordArrived {
+        /// Connection it arrived on.
+        conn: ConnId,
+        /// Partition it came from.
+        partition: u32,
+        /// Its offset.
+        offset: u64,
+        /// Telemetry probe of the originating produce.
+        probe: ProbeId,
+        /// When the listener callback completed.
+        done_at: SimTime,
+    },
+    /// A produced record was abandoned (its connection died for good).
+    ProduceAbandoned {
+        /// Connection.
+        conn: ConnId,
+        /// Probe of the lost record.
+        probe: ProbeId,
+    },
+    /// The broker stopped answering and a reconnect attempt began. The
+    /// host must redirect its bookkeeping from `old` to `new`.
+    Reconnecting {
+        /// Connection id being abandoned.
+        old: ConnId,
+        /// Replacement connection (currently connecting).
+        new: ConnId,
+    },
+    /// A reconnect attempt succeeded; the producer re-sent unacked
+    /// batches, the consumer rejoined its group.
+    Reconnected(ConnId),
+    /// Every reconnect attempt failed; the connection is gone for good.
+    ConnectionLost(ConnId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnPhase {
+    Connecting,
+    Ready,
+    Refused,
+}
+
+struct ProducerState {
+    producer_id: u64,
+    topic: String,
+    /// Records accumulating toward the next batch flush.
+    batch: Vec<ProducerRecord>,
+    linger_armed: bool,
+    next_batch_seq: u64,
+    /// Flushed but unacknowledged batches, re-sent after a reconnect.
+    pending: BTreeMap<u64, Vec<ProducerRecord>>,
+    /// Records produced while reconnecting, flushed on reconnect.
+    offline: Vec<ProducerRecord>,
+}
+
+struct ConsumerState {
+    group: String,
+    member: u64,
+    topic: String,
+    reset: OffsetReset,
+    epoch: u64,
+    /// Partitions currently owned.
+    owned: Vec<u32>,
+    /// partition → next offset to fetch.
+    positions: BTreeMap<u32, u64>,
+    /// Partitions with an outstanding long-poll fetch.
+    in_flight: BTreeSet<u32>,
+}
+
+enum Role {
+    Producer(ProducerState),
+    Consumer(ConsumerState),
+}
+
+struct ConnState {
+    reconnect: Option<ReconnectPolicy>,
+    broker_ep: Endpoint,
+    phase: ConnPhase,
+    role: Role,
+    /// Last instant the broker was heard from (reconnect detection).
+    last_seen: SimTime,
+    /// Reconnect attempts made so far (0 = never lost). Refunded on
+    /// every successful connect: the cap bounds one outage.
+    attempt: u32,
+    /// True once this logical connection reached `Ready` at least once.
+    ever_connected: bool,
+}
+
+enum TimerKind {
+    /// Producer batch linger expired: flush.
+    Linger {
+        conn: ConnId,
+    },
+    /// Committed-mode consumer: flush offset commits.
+    Commit {
+        conn: ConnId,
+    },
+    /// Liveness heartbeat + silence check.
+    Heartbeat {
+        conn: ConnId,
+    },
+    ReconnectTry {
+        conn: ConnId,
+    },
+    ReconnectDeadline {
+        conn: ConnId,
+        attempt: u32,
+    },
+}
+
+/// A set of gridlog client connections owned by one host actor.
+pub struct GridlogClientSet {
+    cfg: GridlogConfig,
+    node: NodeId,
+    conns: HashMap<ConnId, ConnState>,
+    timers: HashMap<u64, TimerKind>,
+    next_timer: u64,
+    /// Cross-member duplicate filter: partition → first offset not yet
+    /// surfaced to the host. Partition handoffs between members of the
+    /// same group re-fetch from the committed offset; this keeps each
+    /// offset's record surfacing exactly once per host. (One group per
+    /// set — the driver programs never need more.)
+    delivered_to: BTreeMap<u32, u64>,
+}
+
+impl GridlogClientSet {
+    /// New client set for a host actor on `node`.
+    pub fn new(cfg: GridlogConfig, node: NodeId) -> Self {
+        GridlogClientSet {
+            cfg,
+            node,
+            conns: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            delivered_to: BTreeMap::new(),
+        }
+    }
+
+    fn my_ep(&self, ctx: &Context<'_>) -> Endpoint {
+        Endpoint::new(self.node, ctx.self_id())
+    }
+
+    fn cpu(&self, ctx: &mut Context<'_>, cost: SimDuration) -> SimTime {
+        let node = self.node;
+        ctx.with_service::<OsModel, _>(|os, ctx| {
+            let (done, effective) = os.execute_metered(node, ctx.now(), cost);
+            simprof::charge(ctx, simprof::Component::GridlogClient, effective);
+            done
+        })
+    }
+
+    fn serialize_cost(&self, bytes: usize) -> SimDuration {
+        self.cfg.costs.client_serialize_base
+            + SimDuration::from_micros(
+                (bytes as u64 * self.cfg.costs.client_serialize_per_byte_ns).div_ceil(1000),
+            )
+    }
+
+    fn deliver_cost(&self, bytes: usize) -> SimDuration {
+        self.cfg.costs.client_deliver_base
+            + SimDuration::from_micros(
+                (bytes as u64 * self.cfg.costs.client_deliver_per_byte_ns).div_ceil(1000),
+            )
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Context<'_>, delay: SimDuration, kind: TimerKind) -> u64 {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, kind);
+        ctx.timer(delay, ClientTimer(token));
+        token
+    }
+
+    fn open(&mut self, ctx: &mut Context<'_>, broker_ep: Endpoint) -> ConnId {
+        let me = self.my_ep(ctx);
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            let conn = net.open(ctx.now(), Transport::Tcp, me, broker_ep);
+            net.send(
+                ctx,
+                conn,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Connect),
+            );
+            conn
+        })
+    }
+
+    fn insert_conn(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        broker_ep: Endpoint,
+        role: Role,
+        reconnect: Option<ReconnectPolicy>,
+    ) {
+        self.conns.insert(
+            conn,
+            ConnState {
+                reconnect,
+                broker_ep,
+                phase: ConnPhase::Connecting,
+                role,
+                last_seen: ctx.now(),
+                attempt: 0,
+                ever_connected: false,
+            },
+        );
+        // With recovery enabled the *initial* connect gets the same
+        // deadline as a reconnect attempt: a Connect frame swallowed by
+        // a crashed broker must not strand the client forever.
+        if let Some(policy) = reconnect {
+            self.arm_timer(
+                ctx,
+                policy.detect_timeout,
+                TimerKind::ReconnectDeadline { conn, attempt: 0 },
+            );
+        }
+    }
+
+    /// Open a producer connection. `producer_id` is the stable
+    /// idempotence identity (survives reconnects).
+    pub fn connect_producer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        broker_ep: Endpoint,
+        producer_id: u64,
+        topic: impl Into<String>,
+        reconnect: Option<ReconnectPolicy>,
+    ) -> ConnId {
+        let conn = self.open(ctx, broker_ep);
+        self.insert_conn(
+            ctx,
+            conn,
+            broker_ep,
+            Role::Producer(ProducerState {
+                producer_id,
+                topic: topic.into(),
+                batch: Vec::new(),
+                linger_armed: false,
+                next_batch_seq: 0,
+                pending: BTreeMap::new(),
+                offline: Vec::new(),
+            }),
+            reconnect,
+        );
+        conn
+    }
+
+    /// Open a consumer connection that joins `group` on `topic` once the
+    /// connection is up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_consumer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        broker_ep: Endpoint,
+        group: impl Into<String>,
+        member: u64,
+        topic: impl Into<String>,
+        reset: OffsetReset,
+        reconnect: Option<ReconnectPolicy>,
+    ) -> ConnId {
+        let conn = self.open(ctx, broker_ep);
+        self.insert_conn(
+            ctx,
+            conn,
+            broker_ep,
+            Role::Consumer(ConsumerState {
+                group: group.into(),
+                member,
+                topic: topic.into(),
+                reset,
+                epoch: 0,
+                owned: Vec::new(),
+                positions: BTreeMap::new(),
+                in_flight: BTreeSet::new(),
+            }),
+            reconnect,
+        );
+        conn
+    }
+
+    /// Produce one record. Instruments `before_sending` immediately (the
+    /// linger wait is part of the produce round trip, exactly as Kafka's
+    /// `send()` future resolves only on the broker ack) and returns the
+    /// probe id; `after_sending` fires when the batch flush completes.
+    pub fn produce(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        key: u32,
+        mut message: Message,
+    ) -> ProbeId {
+        let now = ctx.now();
+        let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        message.headers.trace = Some(simtrace::TraceId(probe.0));
+        let actor = ctx.self_id().index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                Some(simtrace::TraceId(probe.0)),
+                actor,
+                simtrace::EventKind::PublishBegin,
+            );
+        });
+        let state = self.conns.get_mut(&conn).expect("unknown connection");
+        let reconnecting = state.phase == ConnPhase::Connecting && state.reconnect.is_some();
+        let Role::Producer(prod) = &mut state.role else {
+            panic!("produce on a consumer connection");
+        };
+        let rec = ProducerRecord {
+            probe,
+            key,
+            message,
+        };
+        if reconnecting {
+            // Broker presumed dead and a reconnect is in flight: buffer
+            // the record; it is flushed (delayed, not dropped) once the
+            // replacement connection comes up.
+            prod.offline.push(rec);
+            simfault::with_faults(ctx, |inj, _| inj.stats.delayed += 1);
+            return probe;
+        }
+        assert_eq!(state.phase, ConnPhase::Ready, "produce before ConnectOk");
+        prod.batch.push(rec);
+        let occupancy = prod.batch.len() as u32;
+        let full = prod.batch.len() >= self.cfg.batching.max_records;
+        let arm = !full && !prod.linger_armed;
+        if arm {
+            prod.linger_armed = true;
+        }
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(
+                at,
+                Some(simtrace::TraceId(probe.0)),
+                actor,
+                simtrace::EventKind::BatchEnqueue { occupancy },
+            );
+        });
+        if full {
+            self.flush_batch(ctx, conn);
+        } else if arm {
+            let linger = self.cfg.batching.linger;
+            self.arm_timer(ctx, linger, TimerKind::Linger { conn });
+        }
+        probe
+    }
+
+    /// Flush the accumulated batch: one serialization charge, then
+    /// `after_sending`/`PublishEnd` for every record at the flush
+    /// instant, then the batch goes on the wire.
+    fn flush_batch(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let Role::Producer(prod) = &mut state.role else {
+            return;
+        };
+        if prod.batch.is_empty() {
+            return;
+        }
+        prod.linger_armed = false;
+        if state.phase != ConnPhase::Ready {
+            // Went into reconnect mid-linger: everything buffered moves
+            // to the offline queue.
+            let n = prod.batch.len() as u64;
+            prod.offline.append(&mut prod.batch);
+            simfault::with_faults(ctx, |inj, _| inj.stats.delayed += n);
+            return;
+        }
+        let records = std::mem::take(&mut prod.batch);
+        let seq = prod.next_batch_seq;
+        prod.next_batch_seq += 1;
+        let producer_id = prod.producer_id;
+        let topic = prod.topic.clone();
+        let tuples = records.len() as u32;
+        let bytes = produce_bytes(&records);
+        let actor = ctx.self_id().index() as u64;
+        simtrace::with_trace(ctx, |tr, at| {
+            tr.record(at, None, actor, simtrace::EventKind::BatchFlush { tuples });
+            tr.count(simtrace::Counter::BatchFlushes, 1);
+        });
+        let ser_done = self.cpu(ctx, self.serialize_cost(bytes));
+        for rec in &records {
+            let probe = rec.probe;
+            ctx.service_mut::<RttCollector>()
+                .after_sending(probe, ser_done);
+            simtrace::with_trace(ctx, |tr, _| {
+                tr.record(
+                    ser_done,
+                    Some(simtrace::TraceId(probe.0)),
+                    actor,
+                    simtrace::EventKind::PublishEnd,
+                );
+            });
+        }
+        let state = self.conns.get_mut(&conn).expect("still here");
+        let Role::Producer(prod) = &mut state.role else {
+            unreachable!("checked above");
+        };
+        prod.pending.insert(seq, records.clone());
+        let me = self.my_ep(ctx);
+        let msg = ClientToBroker::Produce {
+            producer_id,
+            batch_seq: seq,
+            topic,
+            records,
+            retransmit: false,
+        };
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send_at(ctx, conn, me, bytes, Box::new(msg), ser_done);
+        });
+    }
+
+    /// Issue a long-poll fetch for one owned partition.
+    fn send_fetch(&mut self, ctx: &mut Context<'_>, conn: ConnId, partition: u32) {
+        let me = self.my_ep(ctx);
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        if state.phase != ConnPhase::Ready {
+            return;
+        }
+        let Role::Consumer(cons) = &mut state.role else {
+            return;
+        };
+        if !cons.owned.contains(&partition) || cons.in_flight.contains(&partition) {
+            return;
+        }
+        cons.in_flight.insert(partition);
+        let msg = ClientToBroker::Fetch {
+            group: cons.group.clone(),
+            member: cons.member,
+            epoch: cons.epoch,
+            partition,
+            offset: cons.positions.get(&partition).copied().unwrap_or(0),
+        };
+        let bytes = CONTROL_FRAME_BYTES + cons.group.len() + 20;
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send(ctx, conn, me, bytes, Box::new(msg));
+        });
+    }
+
+    /// Handle a network delivery addressed to the host actor. Returns
+    /// the events the host should react to.
+    pub fn handle_delivery(
+        &mut self,
+        ctx: &mut Context<'_>,
+        delivery: Delivery,
+    ) -> Vec<ClientEvent> {
+        let Delivery { conn, payload, .. } = delivery;
+        let Ok(b2c) = payload.downcast::<BrokerToClient>() else {
+            return Vec::new();
+        };
+        // Any broker frame counts as liveness for crash detection.
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.last_seen = ctx.now();
+        }
+        let mut events = Vec::new();
+        match *b2c {
+            BrokerToClient::ConnectOk => {
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return events;
+                };
+                state.phase = ConnPhase::Ready;
+                let reconnect = state.reconnect;
+                let was_reconnect = state.ever_connected && state.attempt > 0;
+                state.attempt = 0;
+                state.ever_connected = true;
+                if was_reconnect {
+                    events.push(ClientEvent::Reconnected(conn));
+                    simfault::with_faults(ctx, |inj, _| inj.stats.reconnects += 1);
+                } else {
+                    events.push(ClientEvent::Connected(conn));
+                }
+                let is_committed_consumer = match &state.role {
+                    Role::Consumer(c) => {
+                        let join = ClientToBroker::JoinGroup {
+                            group: c.group.clone(),
+                            member: c.member,
+                            topic: c.topic.clone(),
+                            reset: c.reset,
+                        };
+                        let bytes = CONTROL_FRAME_BYTES + c.group.len() + c.topic.len() + 16;
+                        let me = self.my_ep(ctx);
+                        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                            net.send(ctx, conn, me, bytes, Box::new(join));
+                        });
+                        let state = self.conns.get(&conn).expect("still here");
+                        match &state.role {
+                            Role::Consumer(c) => c.reset == OffsetReset::Committed,
+                            Role::Producer(_) => false,
+                        }
+                    }
+                    Role::Producer(_) => {
+                        if was_reconnect {
+                            self.republish_pending(ctx, conn);
+                            self.drain_offline(ctx, conn);
+                        }
+                        false
+                    }
+                };
+                if is_committed_consumer {
+                    let interval = self.cfg.group.commit_interval;
+                    self.arm_timer(ctx, interval, TimerKind::Commit { conn });
+                }
+                if let Some(policy) = reconnect {
+                    self.arm_timer(
+                        ctx,
+                        policy.heartbeat_interval,
+                        TimerKind::Heartbeat { conn },
+                    );
+                }
+            }
+            BrokerToClient::ConnectRefused { reason } => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.phase = ConnPhase::Refused;
+                    events.push(ClientEvent::Refused(conn, reason));
+                }
+            }
+            BrokerToClient::ProduceAck { batch_seq } => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    if let Role::Producer(prod) = &mut state.role {
+                        prod.pending.remove(&batch_seq);
+                    }
+                }
+            }
+            BrokerToClient::Assignment {
+                group: _,
+                epoch,
+                partitions,
+            } => {
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return events;
+                };
+                let Role::Consumer(cons) = &mut state.role else {
+                    return events;
+                };
+                if epoch < cons.epoch {
+                    return events; // out-of-order rebalance push
+                }
+                cons.epoch = epoch;
+                cons.owned = partitions.iter().map(|&(p, _)| p).collect();
+                for &(p, start) in &partitions {
+                    match cons.reset {
+                        OffsetReset::Committed => {
+                            // Keep a live position if we have one (it is
+                            // ≥ the committed offset); adopt the broker's
+                            // start for newly acquired partitions.
+                            let e = cons.positions.entry(p).or_insert(start);
+                            *e = (*e).max(start);
+                        }
+                        OffsetReset::Latest => {
+                            // A reset-to-latest member adopts the log end
+                            // wholesale — the crash window is skipped.
+                            cons.positions.insert(p, start);
+                        }
+                    }
+                }
+                cons.in_flight.clear();
+                let owned = cons.owned.clone();
+                events.push(ClientEvent::Assigned {
+                    conn,
+                    epoch,
+                    partitions: owned.clone(),
+                });
+                for p in owned {
+                    self.send_fetch(ctx, conn, p);
+                }
+            }
+            BrokerToClient::Records {
+                partition,
+                epoch,
+                records,
+                end_offset: _,
+            } => {
+                let now = ctx.now();
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return events;
+                };
+                let Role::Consumer(cons) = &mut state.role else {
+                    return events;
+                };
+                if epoch != cons.epoch || !cons.owned.contains(&partition) {
+                    return events; // stale response from before a rebalance
+                }
+                cons.in_flight.remove(&partition);
+                let mut pos = cons.positions.get(&partition).copied().unwrap_or(0);
+                let actor = ctx.self_id().index() as u64;
+                for rec in records {
+                    pos = pos.max(rec.offset + 1);
+                    let next = self.delivered_to.entry(partition).or_insert(0);
+                    let fresh = rec.offset >= *next;
+                    if fresh {
+                        *next = rec.offset + 1;
+                    }
+                    let bytes = rec.message.wire_size() + RECORD_OVERHEAD_BYTES;
+                    // Deserialization is paid for duplicates too; only
+                    // fresh records reach the listener and the probes.
+                    if fresh {
+                        ctx.service_mut::<RttCollector>()
+                            .before_receiving(rec.probe, now);
+                    }
+                    let done = self.cpu(ctx, self.deliver_cost(bytes));
+                    if fresh {
+                        ctx.service_mut::<RttCollector>()
+                            .after_receiving(rec.probe, done);
+                        let id = Some(simtrace::TraceId(rec.probe.0));
+                        simtrace::with_trace(ctx, |tr, _| {
+                            tr.record(now, id, actor, simtrace::EventKind::Available);
+                            tr.record(done, id, actor, simtrace::EventKind::Delivered);
+                        });
+                        events.push(ClientEvent::RecordArrived {
+                            conn,
+                            partition,
+                            offset: rec.offset,
+                            probe: rec.probe,
+                            done_at: done,
+                        });
+                    }
+                }
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    if let Role::Consumer(cons) = &mut state.role {
+                        cons.positions.insert(partition, pos);
+                    }
+                }
+                // Long-poll loop: the next fetch goes out immediately;
+                // an empty log parks it at the broker.
+                self.send_fetch(ctx, conn, partition);
+            }
+            BrokerToClient::CommitOk { epoch: _ } => {}
+            BrokerToClient::Pong => {}
+        }
+        events
+    }
+
+    /// Handle a [`ClientTimer`] delivered to the host actor.
+    pub fn handle_timer(&mut self, ctx: &mut Context<'_>, timer: ClientTimer) -> Vec<ClientEvent> {
+        let Some(kind) = self.timers.remove(&timer.0) else {
+            return Vec::new(); // stale
+        };
+        match kind {
+            TimerKind::Linger { conn } => {
+                self.flush_batch(ctx, conn);
+                Vec::new()
+            }
+            TimerKind::Commit { conn } => {
+                let me = self.my_ep(ctx);
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return Vec::new(); // conn replaced or closed
+                };
+                if state.phase != ConnPhase::Ready {
+                    return Vec::new();
+                }
+                let Role::Consumer(cons) = &mut state.role else {
+                    return Vec::new();
+                };
+                let offsets: Vec<(u32, u64)> = cons
+                    .owned
+                    .iter()
+                    .filter_map(|&p| cons.positions.get(&p).map(|&o| (p, o)))
+                    .collect();
+                if !offsets.is_empty() {
+                    let msg = ClientToBroker::CommitOffsets {
+                        group: cons.group.clone(),
+                        member: cons.member,
+                        epoch: cons.epoch,
+                        offsets: offsets.clone(),
+                    };
+                    let bytes = offsets_bytes(offsets.len()) + cons.group.len();
+                    ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                        net.send(ctx, conn, me, bytes, Box::new(msg));
+                    });
+                }
+                let interval = self.cfg.group.commit_interval;
+                self.arm_timer(ctx, interval, TimerKind::Commit { conn });
+                Vec::new()
+            }
+            TimerKind::Heartbeat { conn } => {
+                let Some(state) = self.conns.get(&conn) else {
+                    return Vec::new(); // conn replaced or closed
+                };
+                let Some(policy) = state.reconnect else {
+                    return Vec::new();
+                };
+                if state.phase != ConnPhase::Ready {
+                    return Vec::new();
+                }
+                if ctx.now().saturating_since(state.last_seen) > policy.detect_timeout {
+                    return self.begin_reconnect(ctx, conn);
+                }
+                let msg = match &state.role {
+                    Role::Consumer(c) => ClientToBroker::Heartbeat {
+                        group: c.group.clone(),
+                        member: c.member,
+                    },
+                    Role::Producer(_) => ClientToBroker::Ping,
+                };
+                let me = self.my_ep(ctx);
+                ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                    net.send(ctx, conn, me, CONTROL_FRAME_BYTES, Box::new(msg));
+                });
+                self.arm_timer(
+                    ctx,
+                    policy.heartbeat_interval,
+                    TimerKind::Heartbeat { conn },
+                );
+                Vec::new()
+            }
+            TimerKind::ReconnectTry { conn } => self.begin_reconnect(ctx, conn),
+            TimerKind::ReconnectDeadline { conn, attempt } => {
+                let Some(state) = self.conns.get(&conn) else {
+                    return Vec::new();
+                };
+                if state.phase != ConnPhase::Connecting || state.attempt != attempt {
+                    return Vec::new(); // connected meanwhile or superseded
+                }
+                let policy = state.reconnect.expect("reconnecting conn");
+                if attempt >= policy.max_attempts {
+                    // Give up for good; everything unflushed is lost.
+                    let me = self.my_ep(ctx);
+                    ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                        net.send(
+                            ctx,
+                            conn,
+                            me,
+                            CONTROL_FRAME_BYTES,
+                            Box::new(ClientToBroker::Disconnect),
+                        );
+                    });
+                    let state = self.conns.remove(&conn).expect("checked above");
+                    let mut events = vec![ClientEvent::ConnectionLost(conn)];
+                    if let Role::Producer(prod) = state.role {
+                        for records in prod.pending.values() {
+                            for rec in records {
+                                events.push(ClientEvent::ProduceAbandoned {
+                                    conn,
+                                    probe: rec.probe,
+                                });
+                            }
+                        }
+                        for rec in prod.offline.iter().chain(prod.batch.iter()) {
+                            events.push(ClientEvent::ProduceAbandoned {
+                                conn,
+                                probe: rec.probe,
+                            });
+                        }
+                    }
+                    return events;
+                }
+                // Exponential backoff with equal jitter: de-synchronizes
+                // the reconnect herd after a broker restart.
+                let shift = (attempt.saturating_sub(1)).min(20);
+                let base = policy
+                    .backoff_initial
+                    .saturating_mul(1u64 << shift)
+                    .min(policy.backoff_max);
+                let backoff = base / 2 + ctx.rng().duration_between(SimDuration::ZERO, base / 2);
+                self.arm_timer(ctx, backoff, TimerKind::ReconnectTry { conn });
+                Vec::new()
+            }
+        }
+    }
+
+    /// Abandon `old` and open a replacement connection to the same
+    /// broker endpoint, carrying over the producer's unflushed/unacked
+    /// records and the consumer's group identity and positions.
+    fn begin_reconnect(&mut self, ctx: &mut Context<'_>, old: ConnId) -> Vec<ClientEvent> {
+        let Some(mut state) = self.conns.remove(&old) else {
+            return Vec::new();
+        };
+        let Some(policy) = state.reconnect else {
+            self.conns.insert(old, state);
+            return Vec::new();
+        };
+        state.attempt += 1;
+        state.phase = ConnPhase::Connecting;
+        match &mut state.role {
+            Role::Producer(prod) => {
+                // Unflushed batch records join the offline queue; the
+                // linger timer for the old conn is now stale.
+                let n = prod.batch.len() as u64;
+                prod.offline.append(&mut prod.batch);
+                prod.linger_armed = false;
+                if n > 0 {
+                    simfault::with_faults(ctx, |inj, _| inj.stats.delayed += n);
+                }
+            }
+            Role::Consumer(cons) => {
+                cons.in_flight.clear();
+            }
+        }
+        // Best-effort goodbye on the abandoned connection: if the broker
+        // is actually up (slow, not dead), this frees its service thread.
+        let me = self.my_ep(ctx);
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send(
+                ctx,
+                old,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Disconnect),
+            );
+        });
+        simfault::with_faults(ctx, |inj, _| inj.stats.reconnect_attempts += 1);
+        telemetry::with_metrics(ctx, |m, _| m.add_counter("gridlog.reconnect_attempts", 1));
+        let broker_ep = state.broker_ep;
+        let new = ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            let c = net.open(ctx.now(), Transport::Tcp, me, broker_ep);
+            net.send(
+                ctx,
+                c,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Connect),
+            );
+            c
+        });
+        let attempt = state.attempt;
+        self.conns.insert(new, state);
+        self.arm_timer(
+            ctx,
+            policy.detect_timeout,
+            TimerKind::ReconnectDeadline { conn: new, attempt },
+        );
+        vec![ClientEvent::Reconnecting { old, new }]
+    }
+
+    /// Re-send every flushed-but-unacked batch on a reconnected
+    /// connection with its original sequence; the broker's durable
+    /// producer sequences filter the ones that were already appended.
+    fn republish_pending(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        let me = self.my_ep(ctx);
+        let Some(state) = self.conns.get(&conn) else {
+            return;
+        };
+        let Role::Producer(prod) = &state.role else {
+            return;
+        };
+        let producer_id = prod.producer_id;
+        let topic = prod.topic.clone();
+        let resend: Vec<(u64, Vec<ProducerRecord>)> = prod
+            .pending
+            .iter()
+            .map(|(&seq, recs)| (seq, recs.clone()))
+            .collect();
+        let n: u64 = resend.iter().map(|(_, r)| r.len() as u64).sum();
+        for (seq, records) in resend {
+            let bytes = produce_bytes(&records);
+            // Retransmission re-serializes from the buffered form:
+            // cheaper than first serialization.
+            let done = self.cpu(ctx, self.cfg.costs.client_serialize_base);
+            let msg = ClientToBroker::Produce {
+                producer_id,
+                batch_seq: seq,
+                topic: topic.clone(),
+                records,
+                retransmit: true,
+            };
+            ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                net.send_at(ctx, conn, me, bytes, Box::new(msg), done);
+            });
+        }
+        if n > 0 {
+            simfault::with_faults(ctx, |inj, _| inj.stats.republished += n);
+        }
+    }
+
+    /// Flush the offline record buffer of a reconnected producer as an
+    /// immediate batch (no linger — these records are already late).
+    fn drain_offline(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let Role::Producer(prod) = &mut state.role else {
+            return;
+        };
+        if prod.offline.is_empty() {
+            return;
+        }
+        let mut offline = std::mem::take(&mut prod.offline);
+        prod.batch.append(&mut offline);
+        self.flush_batch(ctx, conn);
+    }
+
+    /// Close a connection: the broker frees its service thread; a
+    /// consumer leaves its group first so the partitions rebalance away.
+    pub fn disconnect(&mut self, ctx: &mut Context<'_>, conn: ConnId) {
+        let Some(state) = self.conns.remove(&conn) else {
+            return;
+        };
+        let me = self.my_ep(ctx);
+        if let Role::Consumer(cons) = &state.role {
+            if state.phase == ConnPhase::Ready {
+                let leave = ClientToBroker::LeaveGroup {
+                    group: cons.group.clone(),
+                    member: cons.member,
+                };
+                let bytes = CONTROL_FRAME_BYTES + cons.group.len();
+                ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+                    net.send(ctx, conn, me, bytes, Box::new(leave));
+                });
+            }
+        }
+        ctx.with_service::<NetworkFabric, _>(|net, ctx| {
+            net.send(
+                ctx,
+                conn,
+                me,
+                CONTROL_FRAME_BYTES,
+                Box::new(ClientToBroker::Disconnect),
+            );
+        });
+    }
+
+    /// Phase of a connection, for the host's bookkeeping.
+    pub fn is_ready(&self, conn: ConnId) -> bool {
+        self.conns
+            .get(&conn)
+            .is_some_and(|c| c.phase == ConnPhase::Ready)
+    }
+
+    /// Was the connection refused?
+    pub fn is_refused(&self, conn: ConnId) -> bool {
+        self.conns
+            .get(&conn)
+            .is_some_and(|c| c.phase == ConnPhase::Refused)
+    }
+
+    /// Number of connections in the set.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True if no connections were opened.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+}

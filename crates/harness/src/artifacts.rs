@@ -13,6 +13,113 @@ fn pct(v: f64) -> String {
     format!("{:.2}%", v * 100.0)
 }
 
+fn p99(r: &ExperimentResult) -> f64 {
+    r.summary
+        .percentiles_ms
+        .iter()
+        .find(|p| p.0 == 99)
+        .map(|p| p.1)
+        .unwrap_or(0.0)
+}
+
+/// gridlog single-broker scalability — the third contender's analogue
+/// of the fig 6/7 series: RTT, loss, and server cost at 500–2000
+/// connections (8 partitions, 2-member consumer group).
+pub fn gridlog_scaling(campaign: &mut Campaign, msgs: u32) -> Table {
+    let results = campaign.ensure(&scenarios::gridlog_single_specs(msgs));
+    let mut t = Table::new(
+        "gridlog single-broker scalability (8 partitions, 2-member consumer group)",
+        &[
+            "conns",
+            "sent",
+            "received",
+            "loss",
+            "RTT mean ms",
+            "stddev ms",
+            "p99 ms",
+            "CPU idle",
+            "mem MB",
+        ],
+    );
+    for r in &results {
+        t.push_row(vec![
+            r.generators.to_string(),
+            r.summary.sent.to_string(),
+            r.summary.received.to_string(),
+            pct(r.summary.loss_rate),
+            ms(r.summary.rtt_mean_ms),
+            ms(r.summary.rtt_stddev_ms),
+            ms(p99(r)),
+            pct(r.server_idle),
+            format!("{:.1}", r.server_mem_mb),
+        ]);
+    }
+    t
+}
+
+/// Three-contender comparison: Narada vs R-GMA vs gridlog on the
+/// identical 400-generator workload and seed, fault-free and under each
+/// contender's analogous mid-run outage (broker crash; servlet stall
+/// for R-GMA, which has no broker). The gridlog CLIENT row maps
+/// CLIENT_ACKNOWLEDGE onto committed-offset resume, so its consumer
+/// group replays the crash window from the durable log.
+pub fn three_way(campaign: &mut Campaign, msgs: u32) -> Table {
+    let clean = campaign.ensure(&scenarios::three_way_specs(msgs));
+    let outage = campaign.ensure(&scenarios::three_way_outage_specs(msgs));
+    let mut t = Table::new(
+        "Three-contender comparison — identical workload and seed, 400 generators",
+        &[
+            "contender",
+            "RTT mean ms",
+            "stddev ms",
+            "p99 ms",
+            "loss",
+            "outage",
+            "outage loss",
+            "reconnects",
+            "recovered",
+        ],
+    );
+    // (label, fault-free run index, outage run index, outage scenario).
+    let rows: [(&str, Option<usize>, usize, &str); 4] = [
+        ("Narada (AUTO)", Some(0), 0, "broker-crash"),
+        ("R-GMA (AUTO)", Some(1), 1, "servlet-stall"),
+        ("gridlog (AUTO → latest)", Some(2), 2, "broker-crash"),
+        ("gridlog (CLIENT → committed)", None, 3, "broker-crash"),
+    ];
+    for (label, ci, oi, scenario) in rows {
+        let o = &outage[oi];
+        let fs = o.fault_stats.unwrap_or_default();
+        let (mean, sd, p, loss) = match ci {
+            Some(i) => {
+                let c = &clean[i];
+                (
+                    ms(c.summary.rtt_mean_ms),
+                    ms(c.summary.rtt_stddev_ms),
+                    ms(p99(c)),
+                    pct(c.summary.loss_rate),
+                )
+            }
+            // The committed-offset variant only differs once a fault
+            // makes offsets matter; its fault-free numbers are the AUTO
+            // row's.
+            None => ("—".into(), "—".into(), "—".into(), "—".into()),
+        };
+        t.push_row(vec![
+            label.into(),
+            mean,
+            sd,
+            p,
+            loss,
+            scenario.into(),
+            pct(o.summary.loss_rate),
+            fs.reconnects.to_string(),
+            fs.recovered.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Table I — hardware specifications and software versions (documented
 /// constants of the calibration).
 pub fn table1() -> Table {
@@ -813,6 +920,20 @@ mod tests {
     fn table1_and_fig5_are_static() {
         assert!(table1().render().contains("PentiumIII"));
         assert!(fig5().render().contains("unit controller"));
+    }
+
+    #[test]
+    fn gridlog_and_three_way_artifacts_build() {
+        let mut c = Campaign::new(0);
+        let g = gridlog_scaling(&mut c, 1);
+        assert_eq!(g.rows.len(), 3);
+        let t = three_way(&mut c, 1);
+        assert_eq!(t.rows.len(), 4);
+        // 3 scaling runs + 3 fault-free + 4 outage runs, no rerun overlap.
+        assert_eq!(c.runs(), 10);
+        // Every outage row carries its scenario name.
+        assert!(t.render().contains("broker-crash"));
+        assert!(t.render().contains("servlet-stall"));
     }
 
     #[test]

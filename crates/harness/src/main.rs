@@ -8,10 +8,14 @@
 //! artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 rgma-warmup
 //!            ablation-routing ablation-secondary ablation-poll
-//!            ablation-aggregation checks bench all
+//!            ablation-aggregation gridlog compare checks bench all
 //!
 //! Every value-taking option accepts both `--opt value` and
-//! `--opt=value`. Unknown options are rejected with the valid list.
+//! `--opt=value`. Unknown options are rejected with the valid list;
+//! unknown artifact / fault-scenario names suggest the nearest match.
+//! `--list-scenarios` prints every named scenario (artifacts, fault
+//! schedules, bench + gridlog experiment specs) with a one-line
+//! description.
 //!
 //! --scale N        messages per generator (default 180 = the paper's
 //!                  30 min)
@@ -53,7 +57,7 @@ use harness::{artifacts, Campaign};
 use std::io::Write;
 
 const VALID_OPTIONS: &str = "--scale --threads --out --no-csv --trace[=DIR] \
-     --faults --profile[=DIR] --scope[=DIR] --bench-json --help";
+     --faults --profile[=DIR] --scope[=DIR] --bench-json --list-scenarios --help";
 
 struct Options {
     scale: u32,
@@ -70,10 +74,39 @@ struct Options {
 fn parse_fault_scenario(name: &str) -> Result<gridmon_core::FaultSchedule, String> {
     gridmon_core::FaultSchedule::scenario(name).ok_or_else(|| {
         format!(
-            "unknown fault scenario {name:?} (one of: {})",
-            gridmon_core::FaultSchedule::SCENARIOS.join(" ")
+            "unknown fault scenario {name:?} (one of: {}){}",
+            gridmon_core::FaultSchedule::SCENARIOS.join(" "),
+            suggestion(name, gridmon_core::FaultSchedule::SCENARIOS.iter().copied())
         )
     })
+}
+
+/// Edit distance between two ASCII-ish names (full Levenshtein; the
+/// candidate lists are tiny, so the O(a·b) table is irrelevant).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// ` — did you mean "X"?` for the closest candidate within a third of
+/// its length (so rubbish input gets no misleading suggestion), or "".
+fn suggestion<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> String {
+    candidates
+        .map(|c| (edit_distance(name, c), c))
+        .min()
+        .filter(|&(d, c)| d > 0 && d <= (c.len() / 3).max(2))
+        .map(|(_, c)| format!(" — did you mean {c:?}?"))
+        .unwrap_or_default()
 }
 
 /// The value of `--opt value` / `--opt=value`, from `inline` (the text
@@ -166,6 +199,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     &mut args,
                 )?)?);
             }
+            "--list-scenarios" => artifacts.push("list-scenarios".to_owned()),
             "--help" | "-h" => artifacts.push("help".to_owned()),
             other => {
                 return Err(format!(
@@ -190,30 +224,160 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     })
 }
 
-const ALL: &[&str] = &[
-    "table1",
-    "table2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "fig15",
-    "table3",
-    "rgma-warmup",
-    "ablation-routing",
-    "ablation-secondary",
-    "ablation-poll",
-    "ablation-aggregation",
-    "checks",
+/// Every artifact `repro` can build, with the one-line description
+/// `--list-scenarios` prints. Order is the `all` execution order.
+const ARTIFACTS: &[(&str, &str)] = &[
+    (
+        "table1",
+        "hardware and software calibration constants (Table I)",
+    ),
+    (
+        "table2",
+        "Narada comparison test settings and measured loss (Table II)",
+    ),
+    (
+        "fig3",
+        "Narada comparison tests: RTT mean and standard deviation",
+    ),
+    ("fig4", "Narada comparison tests: RTT percentiles 95-100"),
+    (
+        "fig5",
+        "distributed broker architecture as deployed (topology)",
+    ),
+    ("fig6", "Narada CPU idle and memory vs connections"),
+    (
+        "fig7",
+        "Narada RTT and stddev vs connections (single vs DBN)",
+    ),
+    (
+        "fig8",
+        "Narada single-broker RTT percentiles per connection count",
+    ),
+    ("fig9", "Narada DBN RTT percentiles per connection count"),
+    (
+        "fig10",
+        "R-GMA Primary + Secondary Producer RTT percentiles",
+    ),
+    (
+        "fig11",
+        "R-GMA RTT and stddev vs connections (single vs distributed)",
+    ),
+    (
+        "fig12",
+        "R-GMA single-server RTT percentiles per connection count",
+    ),
+    ("fig13", "R-GMA CPU idle and memory (single vs distributed)"),
+    (
+        "fig14",
+        "R-GMA distributed RTT percentiles per connection count",
+    ),
+    (
+        "fig15",
+        "RTT decomposition (PRT / PT / SRT), cumulative phases",
+    ),
+    (
+        "table3",
+        "qualitative comparison derived from the measurements (Table III)",
+    ),
+    (
+        "rgma-warmup",
+        "S-III.F warm-up loss study (with vs without the wait)",
+    ),
+    (
+        "ablation-routing",
+        "DBN broadcast (v1.1.3) vs subscription-aware routing",
+    ),
+    (
+        "ablation-secondary",
+        "Secondary Producer 30 s delay on vs off",
+    ),
+    (
+        "ablation-poll",
+        "subscriber poll period sweep (10 ms - 1 s)",
+    ),
+    (
+        "ablation-aggregation",
+        "sender-side aggregation at constant byte rate",
+    ),
+    (
+        "gridlog",
+        "gridlog partitioned-log scalability series (500-2000 conns)",
+    ),
+    (
+        "compare",
+        "three-way Narada/R-GMA/gridlog RTT + outage-loss comparison",
+    ),
+    (
+        "checks",
+        "headline paper findings checked against measurements",
+    ),
 ];
+
+/// One-line descriptions of the named fault scenarios, keyed to
+/// `FaultSchedule::SCENARIOS` (a unit test keeps them in lockstep).
+const FAULT_SCENARIOS: &[(&str, &str)] = &[
+    (
+        "broker-crash",
+        "broker 0 JVM dies at t=120 s, restarts at t=150 s",
+    ),
+    (
+        "registry-restart",
+        "R-GMA registry soft state wiped at t=120 s",
+    ),
+    ("link-burst", "25% random frame loss on every link for 30 s"),
+    ("partition", "node 0 cut off from the network for 20 s"),
+    ("servlet-stall", "node 0 servlets answer 503 for 20 s"),
+    ("slowdown", "node 0 CPU 4x slower for 60 s"),
+    (
+        "chaos",
+        "loss burst + broker crash/restart + registry wipe + slowdown",
+    ),
+];
+
+/// `--list-scenarios`: every named scenario — artifacts, fault
+/// schedules, and the named experiment specs behind `bench`, `gridlog`
+/// and `compare` — with one-line descriptions.
+fn list_scenarios(scale: u32) {
+    println!("artifacts (repro <name>):");
+    for (name, desc) in ARTIFACTS {
+        println!("  {name:<22} {desc}");
+    }
+    println!(
+        "  {:<22} perf-baseline suite (see also --bench-json)",
+        "bench"
+    );
+    println!("  {:<22} every artifact above", "all");
+    println!("\nfault scenarios (--faults=<name>):");
+    for (name, desc) in FAULT_SCENARIOS {
+        println!("  {name:<22} {desc}");
+    }
+    println!("\nexperiment specs (run via the artifacts that own them):");
+    let catalogues: [(&str, Vec<gridmon_core::ExperimentSpec>); 3] = [
+        ("bench", gridmon_core::scenarios::bench_specs(scale)),
+        (
+            "gridlog",
+            gridmon_core::scenarios::gridlog_single_specs(scale),
+        ),
+        ("compare", {
+            let mut v = gridmon_core::scenarios::three_way_specs(scale);
+            v.extend(gridmon_core::scenarios::three_way_outage_specs(scale));
+            v
+        }),
+    ];
+    for (owner, specs) in catalogues {
+        for s in specs {
+            let faults = if s.faults.is_empty() {
+                String::new()
+            } else {
+                format!(", {} fault event(s)", s.faults.events.len())
+            };
+            println!(
+                "  {:<30} [{owner}] {:?}, {} generators x {} msgs{faults}",
+                s.name, s.system, s.generators, s.msgs_per_generator
+            );
+        }
+    }
+}
 
 fn write_csv(out: &Option<std::path::PathBuf>, name: &str, csv: &str) {
     let Some(dir) = out else { return };
@@ -238,31 +402,39 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let artifact_names: Vec<&str> = ARTIFACTS.iter().map(|(n, _)| *n).collect();
     if opts.artifacts.iter().any(|a| a == "help") {
         eprintln!(
             "repro — regenerate the IPPS 2007 pub/sub study artifacts\n\n\
              usage: repro [--scale=N] [--threads=N] [--out=DIR | --no-csv] \
              [--trace[=DIR]] [--faults=SCENARIO] [--profile[=DIR]] \
-             [--scope[=DIR]] [--bench-json=FILE] <artifact>...\n\n\
+             [--scope[=DIR]] [--bench-json=FILE] [--list-scenarios] \
+             <artifact>...\n\n\
              artifacts: {} bench all\n\
-             fault scenarios: {}",
-            ALL.join(" "),
+             fault scenarios: {}\n\n\
+             --list-scenarios describes every named scenario",
+            artifact_names.join(" "),
             gridmon_core::FaultSchedule::SCENARIOS.join(" ")
         );
         return;
     }
+    if opts.artifacts.iter().any(|a| a == "list-scenarios") {
+        list_scenarios(opts.scale);
+        return;
+    }
     let names: Vec<String> = if opts.artifacts.iter().any(|a| a == "all") {
-        ALL.iter().map(|s| (*s).to_owned()).collect()
+        artifact_names.iter().map(|s| (*s).to_owned()).collect()
     } else {
         opts.artifacts.clone()
     };
     // Validate artifact names before running anything: a typo at the end
     // of the list must not cost a full campaign first.
     for name in &names {
-        if name != "bench" && !ALL.contains(&name.as_str()) {
+        if name != "bench" && !artifact_names.contains(&name.as_str()) {
             eprintln!(
-                "error: unknown artifact {name:?} (artifacts: {} bench all)",
-                ALL.join(" ")
+                "error: unknown artifact {name:?} (artifacts: {} bench all){}",
+                artifact_names.join(" "),
+                suggestion(name, artifact_names.iter().copied().chain(["bench", "all"]))
             );
             std::process::exit(2);
         }
@@ -335,6 +507,16 @@ fn main() {
                 let t = artifacts::ablation_aggregation(&mut campaign, scale);
                 println!("{}", t.render());
                 write_csv(&opts.out, "ablation-aggregation", &t.to_csv());
+            }
+            "gridlog" => {
+                let t = artifacts::gridlog_scaling(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "gridlog", &t.to_csv());
+            }
+            "compare" => {
+                let t = artifacts::three_way(&mut campaign, scale);
+                println!("{}", t.render());
+                write_csv(&opts.out, "compare", &t.to_csv());
             }
             "checks" => {
                 let checks = artifacts::headline_checks(&mut campaign, scale);
@@ -485,4 +667,51 @@ fn emit_fig(
     let fig = f(campaign, scale);
     println!("{}", fig.render());
     write_csv(out, &fig.id.clone(), &fig.to_csv());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_descriptions_cover_every_scenario() {
+        let described: Vec<&str> = FAULT_SCENARIOS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(described, gridmon_core::FaultSchedule::SCENARIOS);
+    }
+
+    #[test]
+    fn artifact_list_has_no_duplicates_and_reserved_names() {
+        let mut names: Vec<&str> = ARTIFACTS.iter().map(|(n, _)| *n).collect();
+        assert!(!names.contains(&"bench") && !names.contains(&"all"));
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn suggestion_finds_near_misses_and_ignores_rubbish() {
+        assert_eq!(edit_distance("fig13", "fig13"), 0);
+        assert_eq!(edit_distance("", "abc"), 3);
+        let arts = || ARTIFACTS.iter().map(|(n, _)| *n);
+        assert_eq!(suggestion("checkz", arts()), " — did you mean \"checks\"?");
+        assert_eq!(
+            suggestion(
+                "broker-cash",
+                gridmon_core::FaultSchedule::SCENARIOS.iter().copied()
+            ),
+            " — did you mean \"broker-crash\"?"
+        );
+        assert_eq!(suggestion("zzzzzzzz", arts()), "");
+        // Exact matches never reach `suggestion`, but guard anyway.
+        assert_eq!(suggestion("fig3", arts()), "");
+    }
+
+    #[test]
+    fn parse_args_accepts_list_scenarios() {
+        let opts = parse_args(["--list-scenarios".to_owned()].into_iter()).unwrap();
+        assert_eq!(opts.artifacts, vec!["list-scenarios"]);
+        let err = parse_fault_scenario("broker-cash").unwrap_err();
+        assert!(err.contains("did you mean"), "{err}");
+    }
 }

@@ -104,8 +104,13 @@ pub struct Broker {
     conns: HashMap<ConnId, ConnState>,
     my_ix: u16,
     peers: Vec<(u16, ConnId)>,
+    /// Broker-local topic interning table: route-map entries are dense
+    /// `TopicId`s instead of heap strings, so the per-forward interest
+    /// check is an integer compare. Wire messages still carry strings —
+    /// the table never leaves this broker.
+    topics: wire::TopicTable,
     /// Peer broker index → topics it has local interest in (routed mode).
-    peer_interests: HashMap<u16, Vec<String>>,
+    peer_interests: HashMap<u16, Vec<wire::TopicId>>,
     /// Next sequence number for messages this broker originates.
     next_fwd_seq: u64,
     /// Flood dedup: (origin broker, seq) already processed.
@@ -132,6 +137,7 @@ impl Broker {
             conns: HashMap::new(),
             my_ix: 0,
             peers: Vec::new(),
+            topics: wire::TopicTable::new(),
             peer_interests: HashMap::new(),
             next_fwd_seq: 0,
             seen_forwards: std::collections::HashSet::new(),
@@ -603,10 +609,13 @@ impl Broker {
                 if my_ix != origin {
                     continue;
                 }
-                let interested = self
-                    .peer_interests
-                    .get(&peer_ix)
-                    .is_some_and(|ts| ts.iter().any(|t| t == topic));
+                // A topic never interned locally has no registered peer
+                // interest; otherwise the check is an id compare.
+                let interested = self.topics.get(topic).is_some_and(|tid| {
+                    self.peer_interests
+                        .get(&peer_ix)
+                        .is_some_and(|ts| ts.contains(&tid))
+                });
                 if !interested {
                     continue;
                 }
@@ -1033,7 +1042,8 @@ impl Actor for Broker {
                     from_ix,
                 } => self.on_peer_forward(ctx, probe, message, bytes, origin, seq, from_ix),
                 BrokerToBroker::InterestUpdate { broker, topics } => {
-                    self.peer_interests.insert(broker, topics);
+                    let interned = topics.iter().map(|t| self.topics.intern(t)).collect();
+                    self.peer_interests.insert(broker, interned);
                 }
             }
         }

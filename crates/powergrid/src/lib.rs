@@ -10,10 +10,12 @@
 //! subscriber uses the paper's selector `id<10000`.
 
 pub mod generator;
+pub mod gridlog_fleet;
 pub mod narada_fleet;
 pub mod rgma_fleet;
 
 pub use generator::{GeneratorState, PAPER_SELECTOR, TABLE, TABLE_SQL, TOPIC};
+pub use gridlog_fleet::{GridlogFleet, GridlogFleetConfig, GridlogSubscriber};
 pub use narada_fleet::{
     FleetStats, FleetStatsHandle, NaradaFleet, NaradaFleetConfig, NaradaSubscriber,
 };

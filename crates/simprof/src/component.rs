@@ -39,6 +39,20 @@ pub enum Component {
     OsSched,
     /// Stop-the-world GC pauses charged to middleware JVMs.
     OsGc,
+    /// gridlog broker append path: deserialize a produce batch, assign
+    /// offsets, append to the partition segment.
+    GridlogAppend,
+    /// gridlog broker fetch path: serve long-poll fetches, serialize
+    /// record batches.
+    GridlogFetch,
+    /// gridlog broker consumer-group offset-commit processing.
+    GridlogCommit,
+    /// gridlog group-coordinator work: join/leave handling, partition
+    /// assignment, crash-restart segment replay.
+    GridlogRebalance,
+    /// gridlog client-side batching, marshalling, and record delivery
+    /// (driver nodes).
+    GridlogClient,
     /// CPU work submitted outside any instrumented site. Non-zero means
     /// an instrumentation gap; the conservation test asserts it stays
     /// zero.
@@ -46,7 +60,7 @@ pub enum Component {
 }
 
 /// Number of [`Component`] slots.
-pub const COMPONENT_COUNT: usize = 15;
+pub const COMPONENT_COUNT: usize = 20;
 
 impl Component {
     /// All components, in slot order.
@@ -65,6 +79,11 @@ impl Component {
         Component::NetLink,
         Component::OsSched,
         Component::OsGc,
+        Component::GridlogAppend,
+        Component::GridlogFetch,
+        Component::GridlogCommit,
+        Component::GridlogRebalance,
+        Component::GridlogClient,
         Component::Unattributed,
     ];
 
@@ -86,6 +105,11 @@ impl Component {
             Component::NetLink => "simnet.link",
             Component::OsSched => "simos.sched",
             Component::OsGc => "simos.gc",
+            Component::GridlogAppend => "gridlog.append",
+            Component::GridlogFetch => "gridlog.fetch",
+            Component::GridlogCommit => "gridlog.commit",
+            Component::GridlogRebalance => "gridlog.rebalance",
+            Component::GridlogClient => "gridlog.client",
             Component::Unattributed => "unattributed",
         }
     }

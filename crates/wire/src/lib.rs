@@ -7,16 +7,20 @@
 //!   bodies) with an exact wire-size model.
 //! * [`Tuple`] / [`Column`] — relational rows for the R-GMA virtual
 //!   database.
+//! * [`TopicId`] / [`TopicTable`] — interned topic names for routing
+//!   tables and partition maps (dense `u32` handles, broker-local).
 //! * [`codec`] — a real binary codec; `wire_size()` is asserted equal to
 //!   the true encoded length, keeping the simulator's byte accounting
 //!   honest.
 
 pub mod codec;
 pub mod message;
+pub mod topic;
 pub mod tuple;
 pub mod value;
 
 pub use codec::{decode_message, decode_tuple, encode_message, encode_tuple, CodecError};
 pub use message::{Body, DeliveryMode, Headers, Message, MessageId};
+pub use topic::{TopicId, TopicTable};
 pub use tuple::{Column, Tuple};
 pub use value::{Value, ValueType};

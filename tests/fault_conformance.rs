@@ -3,9 +3,9 @@
 //! claims — and that the degradation accounting explains every loss.
 //!
 //! Test names are prefixed `narada_tcp_`, `narada_udp_auto_`,
-//! `narada_udp_client_`, and `rgma_` so the CI fault-matrix job can run
-//! each cell with a `cargo test --test fault_conformance <prefix>`
-//! filter.
+//! `narada_udp_client_`, `rgma_`, and `gridlog_` so the CI fault-matrix
+//! job can run each cell with a `cargo test --test fault_conformance
+//! <prefix>` filter.
 
 use gridmon::core::{run_experiment, ExperimentResult, ExperimentSpec, SystemUnderTest};
 use gridmon::jms::AckMode;
@@ -23,6 +23,17 @@ fn narada_spec(name: &str, transport: Transport, ack: AckMode, seed: u64) -> Exp
     let mut spec =
         ExperimentSpec::paper_default(name, SystemUnderTest::NaradaSingle, 12).scaled(20);
     spec.transport = transport;
+    spec.ack_mode = ack;
+    spec.seed = seed;
+    spec
+}
+
+/// A gridlog run with the same workload shape: the JMS acknowledge axis
+/// maps onto the offset axis (CLIENT ↦ committed-offset resume, AUTO ↦
+/// `auto.offset.reset=latest`).
+fn gridlog_spec(name: &str, ack: AckMode, seed: u64) -> ExperimentSpec {
+    let mut spec =
+        ExperimentSpec::paper_default(name, SystemUnderTest::GridlogSingle, 12).scaled(20);
     spec.ack_mode = ack;
     spec.seed = seed;
     spec
@@ -184,6 +195,116 @@ fn narada_tcp_reconnects_and_bounds_loss() {
         );
         assert_conserved(&r);
     }
+}
+
+// --- gridlog: committed-offset vs latest-reset across a broker crash -
+
+#[test]
+fn gridlog_committed_recovers_all_records_across_crash() {
+    for seed in SEEDS {
+        let spec =
+            gridlog_spec("conf/gridlog-committed", AckMode::Client, seed).with_faults(crash());
+        let r = run_experiment(&spec);
+        let f = r.fault_stats.expect("faulted run has stats");
+        assert_eq!(
+            r.summary.received, r.summary.sent,
+            "seed {seed:#x}: the durable log + committed offsets must \
+             recover every record across the crash ({f:?})"
+        );
+        assert!(f.reconnects > 0, "seed {seed:#x}: no reconnect happened");
+        assert!(
+            f.crash_drops > 0,
+            "seed {seed:#x}: the crash window dropped nothing ({f:?})"
+        );
+        assert_conserved(&r);
+    }
+}
+
+#[test]
+fn gridlog_auto_offset_loses_crash_window_records() {
+    for seed in SEEDS {
+        let spec = gridlog_spec("conf/gridlog-auto", AckMode::Auto, seed).with_faults(crash());
+        let r = run_experiment(&spec);
+        let f = r.fault_stats.expect("faulted run has stats");
+        assert!(
+            r.summary.received < r.summary.sent,
+            "seed {seed:#x}: reset-to-latest consumers rejoin at the log \
+             end — the crash window must be lost ({f:?})"
+        );
+        assert!(f.crash_drops > 0, "seed {seed:#x}: crash dropped nothing");
+        assert_conserved(&r);
+    }
+}
+
+#[test]
+fn gridlog_committed_strictly_beats_auto_on_every_seed() {
+    for seed in SEEDS {
+        let committed = run_experiment(
+            &gridlog_spec("conf/gridlog-order-committed", AckMode::Client, seed)
+                .with_faults(crash()),
+        );
+        let auto = run_experiment(
+            &gridlog_spec("conf/gridlog-order-auto", AckMode::Auto, seed).with_faults(crash()),
+        );
+        assert_eq!(committed.summary.sent, auto.summary.sent, "same workload");
+        assert!(
+            committed.summary.received > auto.summary.received,
+            "seed {seed:#x}: committed {} must strictly beat latest {}",
+            committed.summary.received,
+            auto.summary.received
+        );
+    }
+}
+
+#[test]
+fn gridlog_restart_replays_segments_and_resumes() {
+    for seed in SEEDS {
+        let spec =
+            gridlog_spec("conf/gridlog-replay-log", AckMode::Client, seed).with_faults(crash());
+        let r = run_experiment(&spec);
+        let f = r.fault_stats.expect("faulted run has stats");
+        // The restart replays durable segments and reports the gap
+        // between the group's committed offsets and the log end as
+        // recoverable backlog.
+        assert!(
+            f.recovered > 0,
+            "seed {seed:#x}: restart recovered no backlog ({f:?})"
+        );
+        assert!(
+            f.delayed > 0,
+            "seed {seed:#x}: offline buffering never engaged ({f:?})"
+        );
+        assert!(
+            f.republished > 0,
+            "seed {seed:#x}: no unacked batch was retransmitted ({f:?})"
+        );
+        assert_conserved(&r);
+    }
+}
+
+#[test]
+fn gridlog_faulted_run_replays_identically() {
+    let spec = gridlog_spec("conf/gridlog-replay", AckMode::Client, SEEDS[0])
+        .with_faults(crash())
+        .traced();
+    let a = run_experiment(&spec);
+    let b = run_experiment(&spec);
+    assert_eq!(a.summary.sent, b.summary.sent);
+    assert_eq!(a.summary.received, b.summary.received);
+    assert_eq!(
+        a.summary.rtt_mean_ms.to_bits(),
+        b.summary.rtt_mean_ms.to_bits()
+    );
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.fault_stats, b.fault_stats);
+    let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+    assert_eq!(ta.jsonl, tb.jsonl, "same seed must export identical traces");
+    assert_eq!(ta.chrome, tb.chrome);
+    assert!(
+        ta.disagreements.is_empty(),
+        "trace vs RttCollector disagreements: {:?}",
+        ta.disagreements
+    );
 }
 
 // --- R-GMA: registry restart and servlet stall ----------------------

@@ -15,6 +15,7 @@ fn arb_system() -> impl Strategy<Value = SystemUnderTest> {
         Just(SystemUnderTest::NaradaDbn { brokers: 3 }),
         Just(SystemUnderTest::RgmaSingle),
         Just(SystemUnderTest::RgmaDistributed),
+        Just(SystemUnderTest::GridlogSingle),
     ]
 }
 
@@ -125,8 +126,12 @@ proptest! {
         // Conservation: everything sent is either received or lost.
         prop_assert!(s.received <= s.sent, "received {} > sent {}", s.received, s.sent);
         prop_assert_eq!(s.sent, spec.total_messages() * u64::from(r.connected) / spec.generators as u64);
-        // Only UDP may lose (R-GMA at these scales, with warm-up, is lossless).
-        if spec.transport != Transport::Udp || spec.system.is_rgma() {
+        // Only UDP may lose (R-GMA at these scales, with warm-up, is
+        // lossless, and gridlog always runs over TCP).
+        if spec.transport != Transport::Udp
+            || spec.system.is_rgma()
+            || spec.system == SystemUnderTest::GridlogSingle
+        {
             prop_assert_eq!(s.received, s.sent, "lossless configuration lost messages");
         }
         // Metric sanity.
@@ -270,6 +275,57 @@ proptest! {
         // The metrics plane sampled something on the vmstat cadence.
         prop_assert!(p.metrics_csv.starts_with("t_s,metric,value"));
         prop_assert!(!p.prometheus.is_empty());
+    }
+
+    /// gridlog byte-identity (the dedicated guard over the new crate's
+    /// instrumentation sites): a same-seed gridlog run must be
+    /// bit-identical with trace, profile, and scope all enabled vs.
+    /// plain, and the trace decomposition must agree with the
+    /// independent `RttCollector` instants on every probe.
+    #[test]
+    fn gridlog_runs_byte_identical_under_observation(
+        generators in 2usize..30,
+        msgs in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = ExperimentSpec::paper_default(
+            "prop/gridlog",
+            SystemUnderTest::GridlogSingle,
+            generators,
+        )
+        .scaled(msgs);
+        spec.seed = seed;
+        let plain = run_experiment(&spec);
+        let traced = run_experiment(&spec.clone().traced());
+        let observed = run_experiment(&spec.clone().traced().profiled().scoped());
+        // Measurements are bit-identical across all three observation
+        // levels (the TraceSampler adds its own timer events, so event
+        // counts are only comparable at equal trace settings).
+        for r in [&traced, &observed] {
+            prop_assert_eq!(plain.summary.sent, r.summary.sent);
+            prop_assert_eq!(plain.summary.received, r.summary.received);
+            prop_assert_eq!(
+                plain.summary.rtt_mean_ms.to_bits(),
+                r.summary.rtt_mean_ms.to_bits()
+            );
+            prop_assert_eq!(
+                plain.summary.rtt_stddev_ms.to_bits(),
+                r.summary.rtt_stddev_ms.to_bits()
+            );
+        }
+        prop_assert_eq!(traced.events, observed.events,
+            "profiling/scoping may not add or move kernel events");
+        prop_assert_eq!(&traced.kernel, &observed.kernel);
+        // The append-only log loses nothing fault-free.
+        prop_assert_eq!(plain.summary.received, plain.summary.sent);
+        let t = observed.trace.expect("traced run carries artifacts");
+        prop_assert!(t.disagreements.is_empty(),
+            "trace/RttCollector cross-check failed: {:?}", t.disagreements);
+        let p = observed.profile.expect("profiled run carries artifacts");
+        prop_assert_eq!(p.unattributed.as_micros(), 0,
+            "gridlog left CPU work unattributed");
+        prop_assert!(p.table.contains("gridlog."),
+            "profile table attributes gridlog components");
     }
 
     /// An empty schedule must be indistinguishable from a build without
