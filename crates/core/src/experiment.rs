@@ -1,5 +1,26 @@
 //! Experiment specification, deployment, execution, and result
 //! collection — one call reproduces one data point of the paper.
+//!
+//! ## Sharded execution
+//!
+//! The run path is split into four deterministic stages so the same code
+//! serves every shard count:
+//!
+//! 1. [`layout`] — pure arithmetic on the spec: node counts, workload
+//!    split, time windows.
+//! 2. `build_world` — constructs one *replica* of the whole cluster.
+//!    Under sharding every shard executes the identical build (same
+//!    actor indices, same build-phase connection ids, same RNG streams);
+//!    the kernel's locality filter turns foreign-node actors into ghosts.
+//! 3. run — serial `run_until` for `shards == 1`, conservative LBTS
+//!    lockstep (`simshard::run_sharded`) otherwise, with lookahead equal
+//!    to the fabric's base latency.
+//! 4. `extract_partial` / `merge_results` — every collector leaves its
+//!    shard as a `Send` partial and goes through the *same* merge
+//!    pipeline regardless of shard count (a serial run is merged-of-one),
+//!    so results and artifacts are byte-identical across shard counts by
+//!    construction. `tests/shard_equivalence.rs` enforces this
+//!    differentially.
 
 use crate::calibration;
 use jms::AckMode;
@@ -12,12 +33,13 @@ use rgma::{
     ConsumerControl, ConsumerServlet, ProducerControl, ProducerServlet, RegistryActor, RgmaConfig,
     SecondaryProducer,
 };
-use simcore::{ActorId, SimDuration, SimTime, Simulation};
+use simcore::{ActorId, RemoteEnvelope, SimDuration, SimTime, Simulation};
 use simfault::{FaultDriver, FaultInjector, FaultSchedule, FaultStats};
 use simnet::{Endpoint, NetworkFabric, Transport};
 use simos::{NodeId, OsModel, ProcessId, VmstatLog, VmstatSampler};
+use simshard::ShardPlan;
 use simtrace::{TraceCollector, TraceId, TraceSampler, TraceSummary};
-use telemetry::{ProbeId, RttCollector, RttSummary};
+use telemetry::{RttCollector, RttSummary};
 
 /// Which deployment is under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +123,14 @@ pub struct ExperimentSpec {
     /// never touch the RNG or the event queue, so scoped runs are
     /// byte-identical to plain runs at a fixed seed.
     pub scope: bool,
+    /// Conservative-parallel shard count (`simshard`). The cluster's
+    /// nodes partition round-robin into this many shards, each a full
+    /// replica of the world advancing in LBTS lockstep with lookahead
+    /// equal to the fabric base latency. Results and observability
+    /// artifacts are byte-identical across shard counts (a differential
+    /// test suite enforces it); 1 — the default — runs the classic
+    /// serial event loop, through the same merge pipeline.
+    pub shards: usize,
 }
 
 impl ExperimentSpec {
@@ -128,6 +158,7 @@ impl ExperimentSpec {
             faults: FaultSchedule::new(),
             profile: false,
             scope: false,
+            shards: 1,
         }
     }
 
@@ -147,6 +178,14 @@ impl ExperimentSpec {
     /// Enable wall-clock hot-path attribution for this run.
     pub fn scoped(mut self) -> Self {
         self.scope = true;
+        self
+    }
+
+    /// Run on `shards` conservative parallel shards (1 = serial). Same
+    /// seed + same spec ⇒ byte-identical results at any shard count.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
         self
     }
 
@@ -249,7 +288,9 @@ pub struct ExperimentResult {
     pub broker_forwards: u64,
     /// Virtual time the run covered.
     pub sim_time: SimTime,
-    /// Kernel events processed (cost indicator).
+    /// Kernel events processed (cost indicator). Under sharding this is
+    /// the sum over shards — identical to the serial count, since every
+    /// event executes on exactly one shard.
     pub events: u64,
     /// Trace exports and cross-check (only when `spec.trace` was set).
     pub trace: Option<TraceArtifacts>,
@@ -270,13 +311,22 @@ pub struct ExperimentResult {
     pub wall_secs: f64,
 }
 
-/// Deploy and run one experiment to completion.
-pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
-    let wall_start = std::time::Instant::now();
-    let mut sim = Simulation::new(spec.seed);
+/// Deterministic geometry of one experiment, shared by every shard's
+/// build and by the merge: node counts, workload split, time windows.
+struct Layout {
+    server_count: usize,
+    /// Fleet-hosting client nodes (one more client node hosts the
+    /// subscriber program).
+    fleet_nodes_n: usize,
+    total_nodes: usize,
+    per_fleet: Vec<usize>,
+    horizon: SimTime,
+    steady_from: SimTime,
+    steady_to: SimTime,
+}
 
-    // --- Cluster ---------------------------------------------------
-    let mut os = OsModel::new();
+/// Pure arithmetic on the spec — no RNG, no kernel state.
+fn layout(spec: &ExperimentSpec) -> Layout {
     let server_count = match spec.system {
         SystemUnderTest::NaradaSingle
         | SystemUnderTest::RgmaSingle
@@ -285,10 +335,6 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         SystemUnderTest::RgmaDistributed => 4,
         SystemUnderTest::RgmaSecondary => 2,
     };
-    let mut server_nodes = Vec::new();
-    for i in 0..server_count {
-        server_nodes.push(os.add_node(calibration::hydra_server(format!("hydra{}", i + 1))));
-    }
     // Client nodes: enough for the fleet (≤1000 generators per node; the
     // R-GMA runs used two publishing nodes at 1000 connections, so cap at
     // 500 there — which also spreads connections over both producer
@@ -300,22 +346,81 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         calibration::MAX_GENERATORS_PER_NODE
     };
     let fleet_nodes_n = spec.generators.div_ceil(per_node_cap).max(1);
+    let total_nodes = server_count + fleet_nodes_n + 1;
+    let per_fleet = split_evenly(spec.generators, fleet_nodes_n);
+    let creation_interval = if spec.system.is_rgma() {
+        calibration::rgma_creation_interval()
+    } else {
+        calibration::narada_creation_interval()
+    };
+    let max_fleet = per_fleet.iter().copied().max().unwrap_or(0) as u64;
+    let ramp = creation_interval.saturating_mul(max_fleet);
+    let publishing = spec
+        .publish_interval
+        .saturating_mul(u64::from(spec.msgs_per_generator));
+    let drain = if spec.system == SystemUnderTest::RgmaSecondary {
+        SimDuration::from_secs(120)
+    } else if spec.system.is_rgma() {
+        SimDuration::from_secs(30)
+    } else {
+        SimDuration::from_secs(10)
+    };
+    Layout {
+        server_count,
+        fleet_nodes_n,
+        total_nodes,
+        per_fleet,
+        horizon: SimTime::ZERO + ramp + spec.warmup.1 + publishing + drain,
+        steady_from: SimTime::ZERO + ramp + spec.warmup.1,
+        steady_to: SimTime::ZERO + ramp + publishing,
+    }
+}
+
+/// Thread-local build artifacts the extractor needs: `Rc` stats handles
+/// the world's actors share with the driver. Never crosses threads.
+struct WorldHandles {
+    fleet_stats: Vec<FleetStatsHandle>,
+    #[allow(dead_code)]
+    sub_stats: Vec<FleetStatsHandle>,
+    broker_stats: Vec<narada::StatsHandle>,
+}
+
+/// Construct one replica of the whole cluster into `sim`.
+///
+/// Runs identically on every shard (and serially): same service set,
+/// same actor order — so actor indices, per-actor RNG streams, and
+/// build-phase connection ids agree across replicas. `sim.on_node`
+/// precedes every placed actor so the kernel's locality filter (if any)
+/// can ghost foreign-node actors; the vmstat sampler, the trace sampler
+/// and the fault driver are *replicated* (run on every shard) instead.
+fn build_world(
+    spec: &ExperimentSpec,
+    lay: &Layout,
+    plan: &ShardPlan,
+    shard_ix: usize,
+    sim: &mut Simulation,
+) -> WorldHandles {
+    // --- Cluster ---------------------------------------------------
+    let mut os = OsModel::new();
+    let mut server_nodes = Vec::new();
+    for i in 0..lay.server_count {
+        server_nodes.push(os.add_node(calibration::hydra_server(format!("hydra{}", i + 1))));
+    }
     let mut client_nodes = Vec::new();
-    for i in 0..=fleet_nodes_n {
+    for i in 0..=lay.fleet_nodes_n {
         client_nodes.push(os.add_node(calibration::hydra_client(format!(
             "hydra{}",
-            server_count + i + 1
+            lay.server_count + i + 1
         ))));
     }
-    let total_nodes = server_count + client_nodes.len();
-    sim.add_service(NetworkFabric::new(calibration::hydra_fabric(), total_nodes));
+    sim.add_service(NetworkFabric::new(
+        calibration::hydra_fabric(),
+        lay.total_nodes,
+    ));
     sim.add_service(RttCollector::new());
     sim.add_service(VmstatLog::new());
     if spec.trace {
         sim.add_service(TraceCollector::new());
-        // Counters sampled on the same cadence as the vmstat sampler so
-        // the unified resource log interleaves 1:1.
-        sim.add_actor(TraceSampler::new(SimDuration::from_secs(1)));
     }
     if !spec.faults.is_empty() {
         // The injector owns a private RNG stream, so registering it does
@@ -360,9 +465,18 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         os.enable_wall_metering();
     }
     sim.add_service(os);
-    sim.add_actor(VmstatSampler::new(
+    // The sampler is replicated (one replica per shard), each replica
+    // sampling only the server nodes its shard hosts: a node's CPU/memory
+    // state is maintained by that node's actors, which execute on exactly
+    // one shard. The merge interleaves the per-shard rows by (time, node).
+    let local_server_nodes: Vec<NodeId> = server_nodes
+        .iter()
+        .copied()
+        .filter(|n| plan.shard_of(n.0) == shard_ix)
+        .collect();
+    sim.add_replicated_actor(VmstatSampler::new(
         SimDuration::from_secs(1),
-        server_nodes.clone(),
+        local_server_nodes,
     ));
     // Stop-the-world GC pauses on the middleware JVMs (the latency-tail
     // mechanism; see simos::gc).
@@ -372,6 +486,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         simos::GcConfig::narada_broker()
     };
     for (&node, &proc) in server_nodes.iter().zip(&server_procs) {
+        sim.on_node(node.0);
         sim.add_actor(simos::GcPauser::new(gc_cfg.clone(), node, proc));
     }
 
@@ -383,7 +498,6 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let mut fault_brokers: Vec<ActorId> = Vec::new();
     let mut fault_registry: Option<ActorId> = None;
 
-    let per_fleet = split_evenly(spec.generators, fleet_nodes_n);
     match spec.system {
         SystemUnderTest::NaradaSingle | SystemUnderTest::NaradaDbn { .. } => {
             let ncfg = if spec.dbn_broadcast {
@@ -400,11 +514,12 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             let endpoints: Vec<Endpoint> = if hosts.len() == 1 {
                 let broker = narada::Broker::new(ncfg.clone(), hosts[0].0, hosts[0].1);
                 broker_stats.push(broker.stats_handle());
+                sim.on_node(hosts[0].0 .0);
                 let id = sim.add_actor(broker);
                 vec![Endpoint::new(hosts[0].0, id)]
             } else {
                 let network =
-                    BrokerNetwork::deploy(&mut sim, &ncfg, &hosts, SimDuration::from_millis(200));
+                    BrokerNetwork::deploy(&mut *sim, &ncfg, &hosts, SimDuration::from_millis(200));
                 broker_stats.extend(network.stats.iter().cloned());
                 network.endpoints
             };
@@ -435,7 +550,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             };
             // Fleets: fleet i connects to broker i % n.
             let mut first_id = 0u32;
-            for (i, &n_gens) in per_fleet.iter().enumerate() {
+            for (i, &n_gens) in lay.per_fleet.iter().enumerate() {
                 let broker_ep = pub_eps[i % pub_eps.len()];
                 let fleet = NaradaFleet::new(NaradaFleetConfig {
                     node: client_nodes[i],
@@ -452,6 +567,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                     narada: ncfg.clone(),
                 });
                 fleet_stats.push(fleet.stats_handle());
+                sim.on_node(client_nodes[i].0);
                 sim.add_actor(fleet);
                 first_id += n_gens as u32;
             }
@@ -461,12 +577,14 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             for ep in &sub_eps {
                 let sub = NaradaSubscriber::new(sub_node, *ep, settings, ncfg.clone());
                 sub_stats.push(sub.stats_handle());
+                sim.on_node(sub_node.0);
                 sim.add_actor(sub);
             }
         }
         SystemUnderTest::GridlogSingle => {
             let gcfg = gridlog::GridlogConfig::default();
             let broker = gridlog::LogBroker::new(gcfg.clone(), server_nodes[0], server_procs[0]);
+            sim.on_node(server_nodes[0].0);
             let id = sim.add_actor(broker);
             let broker_ep = Endpoint::new(server_nodes[0], id);
             fault_brokers = vec![id];
@@ -485,7 +603,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                 gridlog::OffsetReset::Latest
             };
             let mut first_id = 0u32;
-            for (i, &n_gens) in per_fleet.iter().enumerate() {
+            for (i, &n_gens) in lay.per_fleet.iter().enumerate() {
                 let fleet = GridlogFleet::new(GridlogFleetConfig {
                     node: client_nodes[i],
                     proc: client_procs[i],
@@ -501,6 +619,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                     gridlog: gcfg.clone(),
                 });
                 fleet_stats.push(fleet.stats_handle());
+                sim.on_node(client_nodes[i].0);
                 sim.add_actor(fleet);
                 first_id += n_gens as u32;
             }
@@ -509,6 +628,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             let sub_node = *client_nodes.last().expect("at least one client node");
             let sub = GridlogSubscriber::new(sub_node, broker_ep, 2, reset, reconnect, gcfg);
             sub_stats.push(sub.stats_handle());
+            sim.on_node(sub_node.0);
             sim.add_actor(sub);
         }
         SystemUnderTest::RgmaSingle
@@ -525,6 +645,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                 rcfg.soft_state_refresh = Some(SimDuration::from_secs(10));
             }
             // Registry always on server node 0.
+            sim.on_node(server_nodes[0].0);
             let reg = sim.add_actor(RegistryActor::new(
                 rcfg.clone(),
                 server_nodes[0],
@@ -540,6 +661,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             };
             let mut prod_eps = Vec::new();
             for &h in &prod_hosts {
+                sim.on_node(server_nodes[h].0);
                 let p = sim.add_actor(ProducerServlet::new(
                     rcfg.clone(),
                     server_nodes[h],
@@ -557,6 +679,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             }
             let mut cons_eps = Vec::new();
             for &h in &cons_hosts {
+                sim.on_node(server_nodes[h].0);
                 let c = sim.add_actor(ConsumerServlet::new(
                     rcfg.clone(),
                     server_nodes[h],
@@ -582,6 +705,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                     powergrid::TABLE,
                     "generator_archive",
                 );
+                sim.on_node(server_nodes[1].0);
                 sim.add_actor(sp);
                 "generator_archive"
             } else {
@@ -589,7 +713,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             };
             // Fleets spread over producer servlets.
             let mut first_id = 0u32;
-            for (i, &n_gens) in per_fleet.iter().enumerate() {
+            for (i, &n_gens) in lay.per_fleet.iter().enumerate() {
                 let fleet = RgmaFleet::new(RgmaFleetConfig {
                     node: client_nodes[i],
                     proc: client_procs[i],
@@ -603,6 +727,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                     rgma: rcfg.clone(),
                 });
                 fleet_stats.push(fleet.stats_handle());
+                sim.on_node(client_nodes[i].0);
                 sim.add_actor(fleet);
                 first_id += n_gens as u32;
             }
@@ -616,55 +741,221 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                     rcfg.clone(),
                 );
                 sub_stats.push(sub.stats_handle());
+                sim.on_node(sub_node.0);
                 sim.add_actor(sub);
             }
         }
     }
 
+    // Conditional observation/fault actors register *after* every
+    // production actor: per-actor RNG streams are keyed by actor index, so
+    // an actor that only exists in instrumented runs must not shift the
+    // indices (and hence the randomness) of the actors common to all runs.
+    // Both are replicated — they run on every shard, observing/driving
+    // their shard's replica of the world.
+    if spec.trace {
+        // Counters sampled on the same cadence as the vmstat sampler so
+        // the unified resource log interleaves 1:1.
+        sim.add_replicated_actor(TraceSampler::new(SimDuration::from_secs(1)));
+    }
     // The driver is added last so its `on_start` timers land after every
     // deployment actor exists; targets that a schedule names but the
     // deployment lacks (e.g. a registry in a Narada run) are ignored.
+    // Replicated: each replica drives its own shard's injector service;
+    // control messages to actors its shard doesn't host are ghost-dropped
+    // (the owning shard's replica delivers them), and the `injected`
+    // count is gated on the accounting primary.
     if !spec.faults.is_empty() {
-        sim.add_actor(FaultDriver::new(
+        sim.add_replicated_actor(FaultDriver::new(
             spec.faults.clone(),
             fault_brokers,
             fault_registry,
         ));
     }
 
-    // --- Run --------------------------------------------------------
-    let creation_interval = if spec.system.is_rgma() {
-        calibration::rgma_creation_interval()
-    } else {
-        calibration::narada_creation_interval()
-    };
-    let max_fleet = per_fleet.iter().copied().max().unwrap_or(0) as u64;
-    let ramp = creation_interval.saturating_mul(max_fleet);
-    let publishing = spec
-        .publish_interval
-        .saturating_mul(u64::from(spec.msgs_per_generator));
-    let drain = if spec.system == SystemUnderTest::RgmaSecondary {
-        SimDuration::from_secs(120)
-    } else if spec.system.is_rgma() {
-        SimDuration::from_secs(30)
-    } else {
-        SimDuration::from_secs(10)
-    };
-    let horizon = SimTime::ZERO + ramp + spec.warmup.1 + publishing + drain;
-    let steady_from = SimTime::ZERO + ramp + spec.warmup.1;
-    let steady_to = SimTime::ZERO + ramp + publishing;
-    sim.run_until(horizon);
+    // Build wiring complete: runtime connection ids switch to
+    // opener-derived packing, which is shard-invariant (build-phase ids
+    // are sequential and rely on the replicated build for parity).
+    sim.service_mut::<NetworkFabric>()
+        .expect("fabric registered")
+        .finish_build();
 
-    // --- Collect ----------------------------------------------------
-    let summary = sim
-        .service::<RttCollector>()
-        .expect("collector registered")
-        .summary();
-    let vm = sim.service::<VmstatLog>().expect("vmstat registered");
+    WorldHandles {
+        fleet_stats,
+        sub_stats,
+        broker_stats,
+    }
+}
+
+/// Everything one shard contributes to the merged result. `Send`: the
+/// `Rc`-based stats handles are reduced to plain sums before leaving the
+/// shard thread.
+struct ShardPartial {
+    kernel: simcore::KernelStats,
+    hotpath: Option<simcore::KernelHotpath>,
+    rtt: RttCollector,
+    vm: VmstatLog,
+    trace: Option<TraceCollector>,
+    fault: Option<FaultStats>,
+    profiler: Option<simprof::Profiler>,
+    metrics: Option<telemetry::MetricsRegistry>,
+    wallscope: Option<simscope::WallScope>,
+    os_busy: SimDuration,
+    os_wall: Option<simcore::WallAccum>,
+    now: SimTime,
+    connected: u32,
+    refused: u32,
+    published: u64,
+    broker_forwards: u64,
+}
+
+/// Reduce one finished shard to its `Send` partial: collectors move out
+/// of the service map, `Rc` handles collapse to sums. Ghost fleets never
+/// execute, so their handles stay zero and the cross-shard sums equal
+/// the serial values.
+fn extract_partial(sim: &mut Simulation, world: &WorldHandles) -> ShardPartial {
+    ShardPartial {
+        kernel: sim.stats(),
+        hotpath: sim.hotpath(),
+        rtt: std::mem::replace(
+            sim.service_mut::<RttCollector>()
+                .expect("collector registered"),
+            RttCollector::new(),
+        ),
+        vm: std::mem::replace(
+            sim.service_mut::<VmstatLog>().expect("vmstat registered"),
+            VmstatLog::new(),
+        ),
+        trace: sim
+            .service_mut::<TraceCollector>()
+            .map(|t| std::mem::replace(t, TraceCollector::new())),
+        fault: sim.service::<FaultInjector>().map(|inj| inj.stats),
+        profiler: sim
+            .service_mut::<simprof::Profiler>()
+            .map(|p| std::mem::replace(p, simprof::Profiler::new())),
+        metrics: sim
+            .service_mut::<telemetry::MetricsRegistry>()
+            .map(std::mem::take),
+        wallscope: sim
+            .service_mut::<simscope::WallScope>()
+            .map(|w| std::mem::replace(w, simscope::WallScope::new())),
+        os_busy: sim
+            .service::<OsModel>()
+            .expect("os registered")
+            .total_submitted_work(),
+        os_wall: sim.service::<OsModel>().and_then(|os| os.wall_metering()),
+        now: sim.now(),
+        connected: world.fleet_stats.iter().map(|s| s.borrow().connected).sum(),
+        refused: world.fleet_stats.iter().map(|s| s.borrow().refused).sum(),
+        published: world.fleet_stats.iter().map(|s| s.borrow().published).sum(),
+        broker_forwards: world
+            .broker_stats
+            .iter()
+            .map(|s| s.borrow().forwarded)
+            .sum(),
+    }
+}
+
+/// The shard executor's injection hook: materialize the connection a
+/// cross-shard network frame rides on (the receiving shard may never
+/// have seen it — the opener lives elsewhere), then hand the envelope to
+/// the kernel. Non-network payloads inject as-is.
+fn inject_delivery(sim: &mut Simulation, env: RemoteEnvelope) {
+    if let Some(d) = env.payload.downcast_ref::<simnet::Delivery>() {
+        let (conn, meta) = (d.conn, d.meta);
+        sim.service_mut::<NetworkFabric>()
+            .expect("fabric registered")
+            .ensure_conn(conn, meta);
+    }
+    sim.inject_remote(env);
+}
+
+/// The whole-run `probes_in_flight` gauge series: +1 at each publish
+/// instant, −1 at each delivery instant, cumulative. No single shard can
+/// compute it (publisher and subscriber may live on different shards),
+/// so it is derived from the *merged* RTT collector and spliced into the
+/// merged metrics registry at the sample instants — exactly where the
+/// old serial sampler used to refresh it.
+fn probes_in_flight_series(rtt: &RttCollector) -> Vec<(SimTime, f64)> {
+    let mut deltas: Vec<(SimTime, i64)> = Vec::new();
+    for id in rtt.probe_ids() {
+        let Some(i) = rtt.instants(id) else { continue };
+        deltas.push((i.before_sending, 1));
+        if let Some(t) = i.after_receiving {
+            deltas.push((t, -1));
+        }
+    }
+    deltas.sort_unstable();
+    let mut series: Vec<(SimTime, f64)> = Vec::new();
+    let mut level = 0i64;
+    for (t, d) in deltas {
+        level += d;
+        match series.last_mut() {
+            Some(last) if last.0 == t => last.1 = level as f64,
+            _ => series.push((t, level as f64)),
+        }
+    }
+    series
+}
+
+/// Fuse the per-shard partials into the final result. Every collector
+/// goes through its canonical merge — the same code for one partial
+/// (serial) as for many — so all derived artifacts are a function of the
+/// merged state only, never of the shard layout.
+fn merge_results(
+    spec: &ExperimentSpec,
+    lay: &Layout,
+    partials: Vec<ShardPartial>,
+    wall_secs: f64,
+) -> ExperimentResult {
+    let server_nodes: Vec<NodeId> = (0..lay.server_count).map(|i| NodeId(i as u16)).collect();
+    let now = partials[0].now;
+    debug_assert!(
+        partials.iter().all(|p| p.now == now),
+        "shard clocks disagree at end of run"
+    );
+
+    let mut kernels = Vec::new();
+    let mut hotpaths = Vec::new();
+    let mut rtts = Vec::new();
+    let mut vms = Vec::new();
+    let mut traces = Vec::new();
+    let mut faults = Vec::new();
+    let mut profilers = Vec::new();
+    let mut metrics_parts = Vec::new();
+    let mut wallscopes = Vec::new();
+    let mut os_walls = Vec::new();
+    let mut kernel_busy = SimDuration::ZERO;
+    let (mut connected, mut refused) = (0u32, 0u32);
+    let (mut published, mut broker_forwards) = (0u64, 0u64);
+    for p in partials {
+        kernels.push(p.kernel);
+        hotpaths.push(p.hotpath);
+        rtts.push(p.rtt);
+        vms.push(p.vm);
+        traces.push(p.trace);
+        faults.push(p.fault);
+        profilers.push(p.profiler);
+        metrics_parts.push(p.metrics);
+        wallscopes.push(p.wallscope);
+        os_walls.push(p.os_wall);
+        kernel_busy += p.os_busy;
+        connected += p.connected;
+        refused += p.refused;
+        published += p.published;
+        broker_forwards += p.broker_forwards;
+    }
+
+    let kernel = simcore::KernelStats::merged(&kernels);
+    let rtt = RttCollector::merged(rtts);
+    let summary = rtt.summary();
+    let vm = VmstatLog::merged(vms);
     // CPU idle over the steady publishing window (excludes the ramp).
     let idles: Vec<f64> = server_nodes
         .iter()
-        .filter_map(|&n| vm.mean_idle_between(n, steady_from, steady_to.max(steady_from)))
+        .filter_map(|&n| {
+            vm.mean_idle_between(n, lay.steady_from, lay.steady_to.max(lay.steady_from))
+        })
         .collect();
     let server_idle = if idles.is_empty() {
         1.0
@@ -679,20 +970,15 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         .iter()
         .map(|&m| m as f64 / (1024.0 * 1024.0))
         .fold(0.0f64, f64::max);
-    let connected = fleet_stats.iter().map(|s| s.borrow().connected).sum();
-    let refused = fleet_stats.iter().map(|s| s.borrow().refused).sum();
-    let published = fleet_stats.iter().map(|s| s.borrow().published).sum();
-    let broker_forwards = broker_stats.iter().map(|s| s.borrow().forwarded).sum();
 
-    let trace = sim.service::<TraceCollector>().map(|tr| {
-        let rtt = sim.service::<RttCollector>().expect("collector registered");
-        let trace_summary = TraceSummary::from_collector(tr);
+    let trace = if spec.trace {
+        let tr = TraceCollector::merged(traces.into_iter().flatten());
+        let trace_summary = TraceSummary::from_collector(&tr);
         // Cross-check: every probe the RttCollector saw must decompose to
         // the exact same four instants in the trace. Any disagreement is
         // an instrumentation bug in one of the two independent paths.
         let mut disagreements = Vec::new();
-        for sent in 0..summary.sent {
-            let id = ProbeId(sent);
+        for id in rtt.probe_ids() {
             let Some(i) = rtt.instants(id) else { continue };
             if let Some(err) = trace_summary.check_probe(
                 TraceId(id.0),
@@ -724,24 +1010,24 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                 mem_bytes: s.mem_bytes,
             })
             .collect();
-        TraceArtifacts {
-            jsonl: simtrace::export::jsonl(tr, &resources),
-            chrome: simtrace::export::chrome_trace(tr),
+        Some(TraceArtifacts {
+            jsonl: simtrace::export::jsonl(&tr, &resources),
+            chrome: simtrace::export::chrome_trace(&tr),
             summary: trace_summary,
             disagreements,
-        }
-    });
+        })
+    } else {
+        None
+    };
 
-    let profile = sim.service::<simprof::Profiler>().map(|p| {
-        let kernel_busy = sim
-            .service::<OsModel>()
-            .expect("os registered")
-            .total_submitted_work();
+    let profile = if spec.profile {
+        let p = simprof::Profiler::merged(profilers.into_iter().flatten());
         let report = p.report(kernel_busy);
-        let metrics = sim
-            .service::<telemetry::MetricsRegistry>()
-            .expect("registered alongside the profiler");
-        ProfileArtifacts {
+        let metrics = telemetry::MetricsRegistry::merged(
+            metrics_parts.into_iter().flatten(),
+            &[("probes_in_flight", probes_in_flight_series(&rtt))],
+        );
+        Some(ProfileArtifacts {
             table: report
                 .table(format!("{} — self time by component", spec.name))
                 .render(),
@@ -751,16 +1037,26 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             attributed: report.attributed,
             kernel_busy: report.kernel_busy,
             unattributed: report.unattributed,
-        }
-    });
+        })
+    } else {
+        None
+    };
 
-    let wall_secs = wall_start.elapsed().as_secs_f64();
-    let scope = sim.hotpath().map(|hp| {
-        let mut report = simscope::HotpathReport::new(&spec.name, wall_secs);
-        report.push(simscope::Site::KernelDispatch.name(), hp.dispatch);
-        report.push(simscope::Site::KernelQueuePush.name(), hp.queue_push);
-        report.push(simscope::Site::KernelQueuePop.name(), hp.queue_pop);
-        if let Some(ws) = sim.service::<simscope::WallScope>() {
+    let scope = {
+        let hotpath = hotpaths.into_iter().flatten().reduce(|mut a, b| {
+            a.merge(&b);
+            a
+        });
+        let ws = simscope::WallScope::merged(wallscopes.into_iter().flatten());
+        let os_wall = os_walls.into_iter().flatten().reduce(|mut a, b| {
+            a.merge(b);
+            a
+        });
+        hotpath.map(|hp| {
+            let mut report = simscope::HotpathReport::new(&spec.name, wall_secs);
+            report.push(simscope::Site::KernelDispatch.name(), hp.dispatch);
+            report.push(simscope::Site::KernelQueuePush.name(), hp.queue_push);
+            report.push(simscope::Site::KernelQueuePop.name(), hp.queue_pop);
             report.push(
                 simscope::Site::NetFabricSend.name(),
                 ws.get(simscope::Site::NetFabricSend),
@@ -769,18 +1065,23 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                 simscope::Site::JmsMatch.name(),
                 ws.get(simscope::Site::JmsMatch),
             );
-        }
-        if let Some(os_wall) = sim.service::<OsModel>().and_then(|os| os.wall_metering()) {
-            report.push(simscope::Site::OsExecute.name(), os_wall);
-        }
-        ScopeArtifacts {
-            json: report.to_json(),
-            collapsed: report.collapsed(),
-            report,
-        }
-    });
+            if let Some(w) = os_wall {
+                report.push(simscope::Site::OsExecute.name(), w);
+            }
+            ScopeArtifacts {
+                json: report.to_json(),
+                collapsed: report.collapsed(),
+                report,
+            }
+        })
+    };
 
-    let kernel = sim.stats();
+    let fault_stats = if spec.faults.is_empty() {
+        None
+    } else {
+        Some(FaultStats::merged(faults.into_iter().flatten()))
+    };
+
     ExperimentResult {
         name: spec.name.clone(),
         generators: spec.generators,
@@ -791,15 +1092,58 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         refused,
         published,
         broker_forwards,
-        sim_time: sim.now(),
+        sim_time: now,
         events: kernel.events_processed,
         trace,
-        fault_stats: sim.service::<FaultInjector>().map(|inj| inj.stats),
+        fault_stats,
         profile,
         kernel,
         scope,
         wall_secs,
     }
+}
+
+/// Deploy and run one experiment to completion — serially for
+/// `spec.shards == 1`, in conservative parallel lockstep otherwise.
+/// Same seed + same spec ⇒ byte-identical results at any shard count.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let wall_start = std::time::Instant::now();
+    let lay = layout(spec);
+    // `GRIDMON_SHARDS` lets CI re-run the entire suite under the
+    // parallel kernel without editing every spec: it only raises an
+    // unsharded spec (shards == 1), never overrides an explicit choice,
+    // and — because sharded runs are byte-identical — every assertion
+    // downstream must still hold.
+    let env_shards = std::env::var("GRIDMON_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let shards = match env_shards {
+        Some(n) if spec.shards <= 1 => n,
+        _ => spec.shards.max(1),
+    };
+    let plan = ShardPlan::new(simnet::partition_nodes(lay.total_nodes, shards), shards);
+    let partials: Vec<ShardPartial> = if shards == 1 {
+        // Serial fast path: no locality filter, no lockstep rounds — but
+        // the identical build and the identical merge pipeline
+        // (merged-of-one), so artifacts match sharded runs byte for byte.
+        let mut sim = Simulation::new(spec.seed);
+        let world = build_world(spec, &lay, &plan, 0, &mut sim);
+        sim.run_until(lay.horizon);
+        vec![extract_partial(&mut sim, &world)]
+    } else {
+        let lookahead = calibration::hydra_fabric().base_latency;
+        simshard::run_sharded(
+            &plan,
+            spec.seed,
+            lay.horizon,
+            lookahead,
+            |ix, sim| build_world(spec, &lay, &plan, ix, sim),
+            inject_delivery,
+            |_, mut sim, world| extract_partial(&mut sim, &world),
+        )
+    };
+    merge_results(spec, &lay, partials, wall_start.elapsed().as_secs_f64())
 }
 
 /// Split `total` into `parts` nearly equal chunks.
@@ -828,6 +1172,8 @@ mod tests {
         assert_eq!(spec.total_messages(), 8000);
         assert!(!spec.system.is_rgma());
         assert!(SystemUnderTest::RgmaSingle.is_rgma());
+        assert_eq!(spec.shards, 1);
+        assert_eq!(spec.clone().sharded(4).shards, 4);
     }
 
     #[test]
@@ -891,5 +1237,23 @@ mod tests {
         spec2.seed += 1;
         let c = run_experiment(&spec2);
         assert_ne!(a.summary.rtt_mean_ms, c.summary.rtt_mean_ms);
+    }
+
+    #[test]
+    fn sharded_narada_matches_serial() {
+        let spec = ExperimentSpec::paper_default("shard/narada", SystemUnderTest::NaradaSingle, 8)
+            .scaled(3);
+        let serial = run_experiment(&spec);
+        let sharded = run_experiment(&spec.clone().sharded(2));
+        assert_eq!(serial.summary.rtt_mean_ms, sharded.summary.rtt_mean_ms);
+        assert_eq!(serial.summary.sent, sharded.summary.sent);
+        assert_eq!(serial.summary.received, sharded.summary.received);
+        assert_eq!(
+            serial.kernel.determinism_digest(),
+            sharded.kernel.determinism_digest()
+        );
+        assert_eq!(serial.sim_time, sharded.sim_time);
+        assert_eq!(serial.connected, sharded.connected);
+        assert_eq!(serial.published, sharded.published);
     }
 }

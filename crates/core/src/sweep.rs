@@ -54,26 +54,54 @@ pub fn run_all(specs: &[ExperimentSpec], threads: usize) -> Vec<ExperimentResult
 mod tests {
     use super::*;
     use crate::experiment::SystemUnderTest;
+    use proptest::prelude::*;
 
-    #[test]
-    fn parallel_matches_sequential() {
-        let specs: Vec<ExperimentSpec> = (0..4)
-            .map(|i| {
-                ExperimentSpec::paper_default(
-                    format!("sweep/{i}"),
-                    SystemUnderTest::NaradaSingle,
-                    5 + i,
-                )
-                .scaled(3)
-            })
-            .collect();
-        let parallel = run_all(&specs, 4);
-        let sequential: Vec<_> = specs.iter().map(run_experiment).collect();
-        assert_eq!(parallel.len(), sequential.len());
-        for (p, s) in parallel.iter().zip(&sequential) {
-            assert_eq!(p.name, s.name);
-            assert_eq!(p.summary.rtt_mean_ms, s.summary.rtt_mean_ms);
-            assert_eq!(p.events, s.events);
+    /// A small random spec: any contender, a random fleet size, seed,
+    /// and shard count — the whole space `run_all` must be order- and
+    /// thread-count-invariant over.
+    fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
+        (0..3usize, 2..8usize, any::<u64>(), 1..4usize).prop_map(|(sys, gens, seed, shards)| {
+            let system = [
+                SystemUnderTest::NaradaSingle,
+                SystemUnderTest::GridlogSingle,
+                SystemUnderTest::RgmaSingle,
+            ][sys];
+            let mut spec = ExperimentSpec::paper_default(
+                format!("sweep/{sys}/{gens}/{seed:x}/{shards}"),
+                system,
+                gens,
+            )
+            .scaled(2)
+            .sharded(shards);
+            spec.seed = seed;
+            spec
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// The sweep is a pure function of the spec list: worker count,
+        /// scheduling order, and per-spec shard count must never leak
+        /// into the results.
+        #[test]
+        fn parallel_matches_sequential(
+            specs in proptest::collection::vec(arb_spec(), 1..4),
+            threads in 1..5usize,
+        ) {
+            let parallel = run_all(&specs, threads);
+            let sequential: Vec<_> = specs.iter().map(run_experiment).collect();
+            prop_assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                prop_assert_eq!(&p.name, &s.name);
+                prop_assert_eq!(p.summary.rtt_mean_ms, s.summary.rtt_mean_ms);
+                prop_assert_eq!(p.summary.sent, s.summary.sent);
+                prop_assert_eq!(p.summary.received, s.summary.received);
+                prop_assert_eq!(p.events, s.events);
+                prop_assert_eq!(
+                    p.kernel.determinism_digest(),
+                    s.kernel.determinism_digest()
+                );
+            }
         }
     }
 

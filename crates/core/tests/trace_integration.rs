@@ -4,8 +4,6 @@
 //! (same-seed runs must export byte-identical traces).
 
 use gridmon_core::{run_experiment, ExperimentSpec, SystemUnderTest};
-use simtrace::TraceId;
-use telemetry::ProbeId;
 
 fn traced_spec(name: &str, system: SystemUnderTest, generators: usize) -> ExperimentSpec {
     ExperimentSpec::paper_default(name, system, generators)
@@ -88,15 +86,20 @@ fn trace_covers_every_delivered_probe() {
     let trace = r.trace.expect("traced");
     assert_eq!(trace.summary.evicted_events, 0, "ring must not wrap here");
     // Every probe the telemetry says was sent must appear in the trace
-    // with a publish-begin instant.
-    for sent in 0..r.summary.sent {
-        let probe = trace
-            .summary
-            .probes
-            .get(&TraceId(ProbeId(sent).0))
-            .unwrap_or_else(|| panic!("probe {sent} missing from trace"));
-        assert!(probe.publish_begin.is_some(), "probe {sent} lacks begin");
-    }
+    // with a publish-begin instant. Probe ids are content-derived
+    // (lane, seq) pairs — not dense — so coverage is checked by count:
+    // the trace only ever learns a probe id from a publish event, so
+    // begin-count == sent-count ⇔ every sent probe is traced.
+    let with_begin = trace
+        .summary
+        .probes
+        .values()
+        .filter(|p| p.publish_begin.is_some())
+        .count() as u64;
+    assert_eq!(
+        with_begin, r.summary.sent,
+        "every sent probe must appear in the trace with a publish begin"
+    );
 }
 
 #[test]

@@ -333,7 +333,8 @@ impl GridlogClientSet {
         mut message: Message,
     ) -> ProbeId {
         let now = ctx.now();
-        let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        let lane = ctx.self_id().index() as u32;
+        let probe = ctx.service_mut::<RttCollector>().before_sending(lane, now);
         message.headers.trace = Some(simtrace::TraceId(probe.0));
         let actor = ctx.self_id().index() as u64;
         simtrace::with_trace(ctx, |tr, at| {

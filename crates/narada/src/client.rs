@@ -337,7 +337,8 @@ impl NaradaClientSet {
         queue: bool,
     ) -> ProbeId {
         let now = ctx.now();
-        let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        let lane = ctx.self_id().index() as u32;
+        let probe = ctx.service_mut::<RttCollector>().before_sending(lane, now);
         // Thread the causal trace id through the middleware (out-of-band:
         // not part of the wire encoding, see `wire::Headers::trace`).
         message.headers.trace = Some(simtrace::TraceId(probe.0));

@@ -209,7 +209,8 @@ impl RgmaClientSet {
         sql: String,
     ) -> telemetry::ProbeId {
         let now = ctx.now();
-        let probe = ctx.service_mut::<RttCollector>().before_sending(now);
+        let lane = ctx.self_id().index() as u32;
+        let probe = ctx.service_mut::<RttCollector>().before_sending(lane, now);
         let actor = ctx.self_id().index() as u64;
         simtrace::with_trace(ctx, |tr, at| {
             tr.record(

@@ -1,10 +1,15 @@
 //! The pending-event set: a time-ordered priority queue with deterministic
 //! tie-breaking.
 //!
-//! Two events scheduled for the same instant fire in the order they were
-//! scheduled (FIFO by sequence number). This makes simulations bit-exactly
-//! reproducible: the heap order never depends on allocation addresses or
-//! hash iteration order.
+//! Two events scheduled for the same instant fire in *scheduling-lane*
+//! order: each scheduling source (an actor, or the external/build path) owns
+//! a lane, and the key `(at, lane, lane_seq)` orders ties first by lane,
+//! then FIFO within the lane. The key is a pure function of *who* scheduled
+//! the event and *how many* events that lane had scheduled before — never of
+//! the global interleaving — so a simulation partitioned across shards
+//! produces byte-identical event orderings to a serial run (see
+//! `crates/simshard`). Within one lane the order is still FIFO, which keeps
+//! single-source schedules (and the classic external-schedule tests) stable.
 //!
 //! The queue also keeps always-on, allocation-free accounting: per-payload-
 //! type scheduled/executed/dropped counts, the timer vs. message mix, and
@@ -22,15 +27,24 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// Opaque payload delivered to an actor. Actors downcast to their own
-/// message enum.
-pub type Payload = Box<dyn Any>;
+/// message enum. `Send` so cross-shard deliveries can travel through the
+/// shard mailboxes.
+pub type Payload = Box<dyn Any + Send>;
+
+/// Lane used by events scheduled from outside any actor (build-time
+/// `Simulation::schedule`). Sorts *after* every actor lane at equal time.
+pub const EXTERNAL_LANE: u32 = u32::MAX;
 
 /// A scheduled delivery.
 pub struct ScheduledEvent {
     /// When the event fires.
     pub at: SimTime,
-    /// Global schedule order, used to break ties deterministically.
-    pub seq: u64,
+    /// Scheduling lane: the index of the actor that scheduled this event,
+    /// or [`EXTERNAL_LANE`] for build-time schedules. Breaks same-instant
+    /// ties deterministically and shard-invariantly.
+    pub lane: u32,
+    /// FIFO sequence within the lane.
+    pub lane_seq: u64,
     /// Receiving actor.
     pub target: ActorId,
     /// Message payload.
@@ -39,9 +53,16 @@ pub struct ScheduledEvent {
     pub(crate) type_ix: u16,
 }
 
+impl ScheduledEvent {
+    /// The deterministic ordering key `(at, lane, lane_seq)`.
+    pub fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.lane, self.lane_seq)
+    }
+}
+
 impl PartialEq for ScheduledEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for ScheduledEvent {}
@@ -54,12 +75,8 @@ impl PartialOrd for ScheduledEvent {
 
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops
-        // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert so the lowest key pops first.
+        other.key().cmp(&self.key())
     }
 }
 
@@ -105,6 +122,13 @@ impl WallAccum {
         self.nanos += nanos;
         self.count += 1;
     }
+
+    /// Fold another accumulator into this one (shard merge).
+    #[inline]
+    pub fn merge(&mut self, other: WallAccum) {
+        self.nanos += other.nanos;
+        self.count += other.count;
+    }
 }
 
 #[derive(Default)]
@@ -117,7 +141,8 @@ struct QueueWall {
 #[derive(Default)]
 pub struct EventQueue {
     heap: BinaryHeap<ScheduledEvent>,
-    next_seq: u64,
+    lane_seqs: Vec<u64>,
+    external_seq: u64,
     scheduled_total: u64,
     timer_scheduled: u64,
     peak_depth: usize,
@@ -134,14 +159,16 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Push an event; assigns the deterministic sequence number.
+    /// Push an event from the external lane; assigns the deterministic
+    /// per-lane sequence number.
     pub fn schedule(&mut self, at: SimTime, target: ActorId, payload: Payload) {
         self.schedule_tagged(at, target, payload, None, false);
     }
 
-    /// Push an event carrying accounting tags: the payload's type name (if
-    /// statically known at the call site) and whether it is a timer
-    /// self-send. [`schedule`](Self::schedule) delegates here with no tags.
+    /// Push an external-lane event carrying accounting tags: the payload's
+    /// type name (if statically known at the call site) and whether it is a
+    /// timer self-send. [`schedule`](Self::schedule) delegates here with no
+    /// tags.
     pub fn schedule_tagged(
         &mut self,
         at: SimTime,
@@ -150,27 +177,55 @@ impl EventQueue {
         name: Option<&'static str>,
         timer: bool,
     ) {
-        let t0 = self.wall.as_ref().map(|_| Instant::now());
-        let type_ix = self.account_scheduled(payload.as_ref().type_id(), name, timer);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.heap.push(ScheduledEvent {
+        self.schedule_on_lane(at, EXTERNAL_LANE, target, payload, name, timer);
+    }
+
+    /// Push an event on a specific scheduling lane, with full accounting.
+    pub fn schedule_on_lane(
+        &mut self,
+        at: SimTime,
+        lane: u32,
+        target: ActorId,
+        payload: Payload,
+        name: Option<&'static str>,
+        timer: bool,
+    ) {
+        let type_ix = self.intern_type(payload.as_ref().type_id(), name);
+        self.count_scheduled(type_ix, timer);
+        let lane_seq = self.next_lane_seq(lane);
+        self.push_keyed(ScheduledEvent {
             at,
-            seq,
+            lane,
+            lane_seq,
             target,
             payload,
             type_ix,
         });
-        if self.heap.len() > self.peak_depth {
-            self.peak_depth = self.heap.len();
-        }
-        if let (Some(t0), Some(w)) = (t0, self.wall.as_mut()) {
-            w.push.add(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Draw the next FIFO sequence number for `lane`, advancing the lane
+    /// counter. Lanes are created on first use. Counters advance even for
+    /// events that are ultimately dropped or routed to another shard — the
+    /// key stream of a lane must not depend on where its targets live.
+    pub fn next_lane_seq(&mut self, lane: u32) -> u64 {
+        if lane == EXTERNAL_LANE {
+            let s = self.external_seq;
+            self.external_seq += 1;
+            s
+        } else {
+            let ix = lane as usize;
+            if ix >= self.lane_seqs.len() {
+                self.lane_seqs.resize(ix + 1, 0);
+            }
+            let s = self.lane_seqs[ix];
+            self.lane_seqs[ix] += 1;
+            s
         }
     }
 
-    fn account_scheduled(&mut self, tid: TypeId, name: Option<&'static str>, timer: bool) -> u16 {
+    /// Intern a payload type into the accounting table without counting
+    /// anything. Returns the table index used by [`ScheduledEvent`].
+    pub fn intern_type(&mut self, tid: TypeId, name: Option<&'static str>) -> u16 {
         let ix = match self.type_ix.get(&tid) {
             Some(&ix) => ix as usize,
             None => {
@@ -187,12 +242,34 @@ impl EventQueue {
         if acct.name.is_none() {
             acct.name = name;
         }
+        ix as u16
+    }
+
+    /// Count one scheduled event of type `type_ix`. Split from
+    /// [`push_keyed`](Self::push_keyed) so the kernel can decide *where*
+    /// an event is accounted (sender shard vs. receiver shard, primary-only
+    /// for replicated actors) independently of where it is enqueued.
+    pub fn count_scheduled(&mut self, type_ix: u16, timer: bool) {
+        self.scheduled_total += 1;
+        let acct = &mut self.types[type_ix as usize];
         acct.scheduled += 1;
         if timer {
             acct.timers += 1;
             self.timer_scheduled += 1;
         }
-        ix as u16
+    }
+
+    /// Push a fully-keyed event (key already assigned — e.g. one that
+    /// crossed a shard boundary carrying its sender-side key).
+    pub fn push_keyed(&mut self, ev: ScheduledEvent) {
+        let t0 = self.wall.as_ref().map(|_| Instant::now());
+        self.heap.push(ev);
+        if self.heap.len() > self.peak_depth {
+            self.peak_depth = self.heap.len();
+        }
+        if let (Some(t0), Some(w)) = (t0, self.wall.as_mut()) {
+            w.push.add(t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Pop the earliest event, if any.
@@ -282,7 +359,7 @@ impl EventQueue {
 /// Strip module paths from a `std::any::type_name` string:
 /// `narada::protocol::BrokerMsg` becomes `BrokerMsg`, including inside
 /// generic arguments.
-fn short_type_name(full: &'static str) -> String {
+pub(crate) fn short_type_name(full: &'static str) -> String {
     let mut out = String::new();
     let mut ident = String::new();
     for c in full.chars() {
@@ -329,6 +406,47 @@ mod tests {
             .map(|e| *e.payload.downcast::<u32>().unwrap())
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ties_break_by_lane_then_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        // Interleave schedules across lanes 1, 0 and the external lane; the
+        // pop order must be lane 0's events FIFO, then lane 1's, then the
+        // external lane's — independent of scheduling interleaving.
+        q.schedule_on_lane(t, 1, aid(0), Box::new(10u32), None, false);
+        q.schedule_tagged(t, aid(0), Box::new(90u32), None, false);
+        q.schedule_on_lane(t, 0, aid(0), Box::new(0u32), None, false);
+        q.schedule_on_lane(t, 1, aid(0), Box::new(11u32), None, false);
+        q.schedule_on_lane(t, 0, aid(0), Box::new(1u32), None, false);
+        q.schedule_tagged(t, aid(0), Box::new(91u32), None, false);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 1, 10, 11, 90, 91]);
+    }
+
+    #[test]
+    fn keyed_push_preserves_foreign_keys() {
+        // A cross-shard event arrives carrying its sender-side key and must
+        // order exactly as if it had been scheduled locally.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_on_lane(t, 2, aid(0), Box::new(2u32), None, false);
+        let ix = q.intern_type(TypeId::of::<u32>(), Some("u32"));
+        q.push_keyed(ScheduledEvent {
+            at: t,
+            lane: 1,
+            lane_seq: 0,
+            target: aid(0),
+            payload: Box::new(1u32),
+            type_ix: ix,
+        });
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2]);
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod service;
 pub mod time;
 
 pub use actor::{Actor, ActorId, FnActor, NullActor};
-pub use event::{EventQueue, EventTypeStat, Payload, ScheduledEvent, WallAccum};
-pub use kernel::{Context, KernelHotpath, KernelStats, RunOutcome, Simulation};
+pub use event::{EventQueue, EventTypeStat, Payload, ScheduledEvent, WallAccum, EXTERNAL_LANE};
+pub use kernel::{
+    Context, KernelHotpath, KernelStats, RemoteEnvelope, RemoteRouter, RunOutcome, Simulation,
+};
 pub use rng::SimRng;
 pub use service::ServiceMap;
 pub use time::{SimDuration, SimTime};

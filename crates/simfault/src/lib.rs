@@ -15,13 +15,37 @@
 //! hook (`should_drop_frame`, `node_stalled`, `with_faults`) no-ops, and
 //! a no-fault run is byte-identical to a build without this crate.
 
-use simcore::{Actor, ActorId, Context, Payload, SimDuration, SimRng, SimTime};
+use simcore::{Actor, ActorId, Context, Payload, SimDuration, SimTime};
 use simos::{NodeId, OsModel};
 use std::collections::HashMap;
 
-/// Seed-stream tag for the injector's private RNG; keeps fault draws off
-/// the kernel RNG so an empty schedule perturbs nothing.
+/// Seed-stream tag for the injector's private draws; keeps fault draws
+/// off the kernel RNG so an empty schedule perturbs nothing.
 pub const FAULT_RNG_STREAM: u64 = 0xFA17_57A6;
+
+/// splitmix64 finalizer: a stateless bijective mixer.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless burst draw: uniform in [0, 1) from (seed, from, to, n).
+///
+/// Burst loss draws must not depend on the global interleaving of frames
+/// — under sharding each shard sees only its own slice of the traffic,
+/// so a shared RNG stream consumed in arrival order would diverge from
+/// the serial run. Instead each (from, to) link keys its own draw
+/// sequence: the n-th frame on a link gets the same verdict no matter
+/// which shard evaluates it or what other links are doing.
+#[inline]
+fn link_draw(seed: u64, from: NodeId, to: NodeId, n: u64) -> f64 {
+    let h =
+        mix(mix(mix(seed ^ FAULT_RNG_STREAM) ^ (u64::from(from.0) << 16 | u64::from(to.0))) ^ n);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// One kind of injected misfortune.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +246,30 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
+    /// Merge per-shard fault accounting. Every counter is incremented by
+    /// exactly one shard per underlying event (frame drops on the sender's
+    /// shard, recovery counters on the acting client's shard, `injected`
+    /// on the accounting-primary replica of the driver), so the merge is a
+    /// plain field-wise sum and merged-of-one is the identity.
+    pub fn merged(parts: impl IntoIterator<Item = FaultStats>) -> FaultStats {
+        let mut out = FaultStats::default();
+        for p in parts {
+            out.injected += p.injected;
+            out.link_drops += p.link_drops;
+            out.partition_drops += p.partition_drops;
+            out.crash_drops += p.crash_drops;
+            out.stall_rejections += p.stall_rejections;
+            out.reconnect_attempts += p.reconnect_attempts;
+            out.reconnects += p.reconnects;
+            out.delayed += p.delayed;
+            out.republished += p.republished;
+            out.recovered += p.recovered;
+            out.http_retries += p.http_retries;
+            out.reregistrations += p.reregistrations;
+        }
+        out
+    }
+
     /// Per-cause rows for `telemetry`-style degradation tables, in a
     /// stable order.
     pub fn rows(&self) -> Vec<(&'static str, u64)> {
@@ -250,7 +298,8 @@ pub struct FaultInjector {
     /// Degradation accounting, mutated by the driver and by middleware
     /// recovery paths (via [`with_faults`]).
     pub stats: FaultStats,
-    rng: SimRng,
+    seed: u64,
+    burst_seqs: HashMap<(NodeId, NodeId), u64>,
     burst_until: SimTime,
     burst_prob: f64,
     burst_node: Option<NodeId>,
@@ -263,7 +312,8 @@ impl FaultInjector {
     pub fn new(seed: u64) -> Self {
         FaultInjector {
             stats: FaultStats::default(),
-            rng: SimRng::new(seed ^ FAULT_RNG_STREAM),
+            seed,
+            burst_seqs: HashMap::new(),
             burst_until: SimTime::ZERO,
             burst_prob: 0.0,
             burst_node: None,
@@ -290,8 +340,9 @@ impl FaultInjector {
     }
 
     /// Should a frame from `from` to `to` be dropped by an active fault?
-    /// Draws from the injector's private RNG only while a burst window
-    /// is open, so quiet periods consume no randomness.
+    /// Burst verdicts come from per-link stateless draws (see
+    /// [`link_draw`]) only while a burst window is open, so quiet periods
+    /// consume no randomness and sharding cannot reorder the draws.
     pub fn frame_fault(&mut self, now: SimTime, from: NodeId, to: NodeId) -> bool {
         self.partitions.retain(|(_, until)| *until > now);
         for (group, _) in &self.partitions {
@@ -305,9 +356,14 @@ impl FaultInjector {
                 Some(n) => n == from || n == to,
                 None => true,
             };
-            if hit && self.rng.chance(self.burst_prob) {
-                self.stats.link_drops += 1;
-                return true;
+            if hit {
+                let n = self.burst_seqs.entry((from, to)).or_insert(0);
+                let draw = link_draw(self.seed, from, to, *n);
+                *n += 1;
+                if draw < self.burst_prob {
+                    self.stats.link_drops += 1;
+                    return true;
+                }
             }
         }
         false
@@ -401,7 +457,15 @@ impl Actor for FaultDriver {
             return;
         };
         let ev = self.schedule.events[tick.0].clone();
-        with_faults(ctx, |inj, _| inj.stats.injected += 1);
+        // The driver is replicated on every shard (fault windows must open
+        // everywhere), but each firing is one logical event: only the
+        // accounting-primary replica counts it.
+        let primary = ctx.accounting_primary();
+        with_faults(ctx, |inj, _| {
+            if primary {
+                inj.stats.injected += 1;
+            }
+        });
         let now = ctx.now();
         match ev.kind {
             FaultKind::LinkLossBurst {
@@ -512,6 +576,55 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn burst_draws_are_interleaving_invariant() {
+        // Verdicts on link (0→1) must not change when traffic on an
+        // unrelated link is interleaved — the shard-partition property.
+        let now = SimTime::from_secs(1);
+        let solo: Vec<bool> = {
+            let mut inj = FaultInjector::new(42);
+            inj.begin_burst(SimTime::from_secs(100), 0.4, None);
+            (0..64)
+                .map(|_| inj.frame_fault(now, NodeId(0), NodeId(1)))
+                .collect()
+        };
+        let mixed: Vec<bool> = {
+            let mut inj = FaultInjector::new(42);
+            inj.begin_burst(SimTime::from_secs(100), 0.4, None);
+            (0..64)
+                .map(|_| {
+                    inj.frame_fault(now, NodeId(8), NodeId(9));
+                    inj.frame_fault(now, NodeId(0), NodeId(1))
+                })
+                .collect()
+        };
+        assert_eq!(solo, mixed);
+    }
+
+    #[test]
+    fn split_injectors_merge_to_the_serial_stats() {
+        // Two shards each evaluating a disjoint half of the links reach,
+        // after the field-wise merge, the same stats as one serial
+        // injector seeing everything.
+        let now = SimTime::from_secs(1);
+        let mk = || {
+            let mut inj = FaultInjector::new(7);
+            inj.begin_burst(SimTime::from_secs(100), 0.5, None);
+            inj
+        };
+        let mut serial = mk();
+        let (mut left, mut right) = (mk(), mk());
+        for i in 0..32u16 {
+            let (from, to) = (NodeId(i), NodeId(i + 100));
+            let s = serial.frame_fault(now, from, to);
+            let shard = if i % 2 == 0 { &mut left } else { &mut right };
+            assert_eq!(shard.frame_fault(now, from, to), s);
+        }
+        let merged = FaultStats::merged([left.stats, right.stats]);
+        assert_eq!(merged, serial.stats);
+        assert_eq!(FaultStats::merged([serial.stats]), serial.stats);
     }
 
     #[test]

@@ -36,6 +36,16 @@ impl VmstatLog {
         &self.samples
     }
 
+    /// Merge per-shard logs. Each shard's vmstat replica samples only
+    /// its own nodes, so the union re-sorted by `(instant, node)` is
+    /// exactly the row set (and order) a serial sampler writes — node
+    /// order within one tick is ascending in both worlds.
+    pub fn merged(parts: impl IntoIterator<Item = VmstatLog>) -> VmstatLog {
+        let mut samples: Vec<VmSample> = parts.into_iter().flat_map(|p| p.samples).collect();
+        samples.sort_by_key(|s| (s.at, s.node.0));
+        VmstatLog { samples }
+    }
+
     /// Samples for one node.
     pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &VmSample> {
         self.samples.iter().filter(move |s| s.node == node)
@@ -75,6 +85,17 @@ pub struct VmstatSampler {
 }
 
 struct Tick;
+
+/// Synthetic metric-op lane for one node's vmstat gauges
+/// (`base | node id`). High bit set so it can never collide with a real
+/// actor lane (actor indices stay far below 2^31), and sorts after actor
+/// lanes at the same instant — gauge levels land before the snapshot.
+const NODE_GAUGE_LANE_BASE: u32 = 0x8000_0000;
+
+/// Synthetic metric-op lane for the sampler's snapshot mark. `u32::MAX`
+/// sorts after every other lane at the same instant, so the snapshot
+/// includes every same-instant counter/gauge update in the merged replay.
+const SAMPLE_LANE: u32 = u32::MAX;
 
 impl VmstatSampler {
     /// Sample the given nodes every `interval` (the paper used 1 s).
@@ -124,8 +145,17 @@ impl Actor for VmstatSampler {
             // Feed the metrics plane (no-op unless a registry is
             // registered): the CPU run-queue depth in time units is the
             // model's per-node queue-depth signal.
-            telemetry::with_metrics(ctx, |m, _| {
+            //
+            // The sampler is *replicated* under sharding, each replica
+            // holding only its shard's nodes, so ops must not ride the
+            // sampler's own lane: the per-lane seq would then count
+            // 3 × local-node-count ops per tick and diverge between
+            // layouts. Instead each node's gauges ride a synthetic
+            // per-node lane (a node is sampled by exactly one replica,
+            // so its lane's seq stream is layout-invariant).
+            telemetry::with_metrics(ctx, |m, at| {
                 let ix = node.0;
+                m.set_recorder(NODE_GAUGE_LANE_BASE | u32::from(ix), at);
                 m.set_gauge(
                     &format!("node{ix}.cpu_backlog_us"),
                     backlog.as_micros() as f64,
@@ -136,17 +166,20 @@ impl Actor for VmstatSampler {
         }
         self.last_at = now;
         // Snapshot the metrics plane at the same instant (no-op unless a
-        // registry is registered): refresh the end-to-end backlog gauge
-        // from the RTT collector, then write one time-series row per
-        // counter/gauge. Riding the existing tick keeps profiled runs
-        // free of extra kernel events.
-        let in_flight = ctx
-            .try_service_mut::<telemetry::RttCollector>()
-            .map(|r| r.sent().saturating_sub(r.received()));
+        // registry is registered): one time-series row per counter/gauge.
+        // Riding the existing tick keeps profiled runs free of extra
+        // kernel events. The snapshot mark rides its own dedicated lane
+        // (one op per tick → seq = tick index on every replica), so the
+        // replicated samplers' marks are *exact* duplicates that the
+        // merge collapses to one snapshot — and `SAMPLE_LANE` sorts
+        // after every other lane, so the snapshot sees all of the
+        // instant's updates. The end-to-end `probes_in_flight` gauge is NOT
+        // refreshed here: it needs the whole run's RTT records, which no
+        // single shard holds — the experiment driver derives its series
+        // from the merged collector and splices it in at these same
+        // sample instants (`MetricsRegistry::merged`).
         telemetry::with_metrics(ctx, |m, at| {
-            if let Some(v) = in_flight {
-                m.set_gauge("probes_in_flight", v as f64);
-            }
+            m.set_recorder(SAMPLE_LANE, at);
             m.sample(at);
         });
         ctx.timer(self.interval, Tick);

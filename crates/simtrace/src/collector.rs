@@ -1,26 +1,79 @@
-//! The ring-buffer trace collector kernel service.
+//! The trace collector kernel service.
+//!
+//! Sharding model: every shard owns one collector recording only what
+//! executes locally. Each record is keyed `(time, recorder lane,
+//! per-lane seq)` — interleaving-invariant, because a lane's record
+//! stream is a function of that actor's own deterministic execution —
+//! and [`TraceCollector::merged`] re-sorts the union of per-shard
+//! stores by that key. Counters merge by element-wise sum (each bump
+//! happens on exactly one shard), gauges by replaying a keyed op log
+//! (a gauge like the NIC backlog has many writers spread across
+//! shards), and counter samples by summing the per-shard snapshots the
+//! replicated sampler takes at identical instants. The ring bound is
+//! applied at merge time (`evicted` counts what the trim discarded),
+//! so the retained window is a function of the merged key order, never
+//! of which shard recorded an event.
 
 use crate::event::{Counter, EventKind, Gauge, TraceEvent, TraceId, COUNTER_COUNT, GAUGE_COUNT};
 use crate::sampler::CounterSample;
 use simcore::{Context, SimTime};
+use std::collections::{BTreeMap, HashMap};
 
 /// Default ring capacity: enough for every event of the scaled
-/// experiment suite while bounding memory to a few MB of `Copy` events.
+/// experiment suite while bounding the exported artifact to a few MB of
+/// `Copy` events.
 pub const DEFAULT_CAPACITY: usize = 1 << 18;
 
-/// Bounded event sink plus live counters, registered as a kernel
-/// service. All state is plain vectors and fixed arrays; recording one
-/// event after the ring is full never allocates.
+#[derive(Debug, Clone, Copy)]
+enum GaugeOpKind {
+    Set(u64),
+    Add(i64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GaugeOp {
+    at: SimTime,
+    lane: u32,
+    seq: u64,
+    gauge: usize,
+    kind: GaugeOpKind,
+}
+
+impl GaugeOp {
+    fn key(&self) -> (SimTime, u32, u64, usize, u8, u64) {
+        let (tag, raw) = match self.kind {
+            GaugeOpKind::Set(v) => (0u8, v),
+            GaugeOpKind::Add(d) => (1u8, d as u64),
+        };
+        (self.at, self.lane, self.seq, self.gauge, tag, raw)
+    }
+
+    fn apply(&self, gauges: &mut [u64; GAUGE_COUNT]) {
+        let slot = &mut gauges[self.gauge];
+        match self.kind {
+            GaugeOpKind::Set(v) => *slot = v,
+            GaugeOpKind::Add(d) => *slot = slot.saturating_add_signed(d),
+        }
+    }
+}
+
+/// Event sink plus live counters, registered as a kernel service. The
+/// store is unbounded during the run; the capacity bound is enforced by
+/// [`merged`](TraceCollector::merged), which every run (any shard
+/// count) goes through before exporting.
 pub struct TraceCollector {
-    events: Vec<TraceEvent>,
-    /// Next slot to overwrite once `events` reached capacity.
-    head: usize,
+    /// `(lane, seq, event)` in recording order.
+    events: Vec<(u32, u64, TraceEvent)>,
     capacity: usize,
-    /// Events evicted by the ring bound.
+    /// Events discarded by the merge-time capacity trim.
     evicted: u64,
     counters: [u64; COUNTER_COUNT],
     gauges: [u64; GAUGE_COUNT],
     samples: Vec<CounterSample>,
+    gauge_ops: Vec<GaugeOp>,
+    cur_lane: u32,
+    cur_at: SimTime,
+    lane_seqs: HashMap<u32, u64>,
 }
 
 impl TraceCollector {
@@ -33,34 +86,52 @@ impl TraceCollector {
     pub fn with_capacity(capacity: usize) -> Self {
         TraceCollector {
             events: Vec::new(),
-            head: 0,
             capacity: capacity.max(1),
             evicted: 0,
             counters: [0; COUNTER_COUNT],
             gauges: [0; GAUGE_COUNT],
             samples: Vec::new(),
+            gauge_ops: Vec::new(),
+            cur_lane: 0,
+            cur_at: SimTime::ZERO,
+            lane_seqs: HashMap::new(),
         }
+    }
+
+    /// Set the recording context for subsequent records; called by
+    /// [`with_trace`] with the acting actor's lane and the kernel clock
+    /// so record keys are shard-invariant.
+    pub fn set_recorder(&mut self, lane: u32, at: SimTime) {
+        self.cur_lane = lane;
+        self.cur_at = at;
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.lane_seqs.entry(self.cur_lane).or_insert(0);
+        let n = *seq;
+        *seq += 1;
+        n
     }
 
     /// Record one event.
     #[inline]
     pub fn record(&mut self, at: SimTime, trace: Option<TraceId>, actor: u64, kind: EventKind) {
-        let ev = TraceEvent {
-            at,
-            trace,
-            actor,
-            kind,
-        };
-        if self.events.len() < self.capacity {
-            self.events.push(ev);
-        } else {
-            self.events[self.head] = ev;
-            self.head = (self.head + 1) % self.capacity;
-            self.evicted += 1;
-        }
+        let seq = self.next_seq();
+        self.events.push((
+            self.cur_lane,
+            seq,
+            TraceEvent {
+                at,
+                trace,
+                actor,
+                kind,
+            },
+        ));
     }
 
-    /// Bump a counter.
+    /// Bump a counter. Sums across shards at merge: call only from
+    /// actors that run on exactly one shard (replicated actors must
+    /// gate on `ctx.accounting_primary()` themselves).
     #[inline]
     pub fn count(&mut self, c: Counter, delta: u64) {
         self.counters[c as usize] += delta;
@@ -70,6 +141,14 @@ impl TraceCollector {
     #[inline]
     pub fn gauge_set(&mut self, g: Gauge, v: u64) {
         self.gauges[g as usize] = v;
+        let op = GaugeOp {
+            at: self.cur_at,
+            lane: self.cur_lane,
+            seq: self.next_seq(),
+            gauge: g as usize,
+            kind: GaugeOpKind::Set(v),
+        };
+        self.gauge_ops.push(op);
     }
 
     /// Adjust a gauge level by a signed delta (saturating at zero).
@@ -77,6 +156,14 @@ impl TraceCollector {
     pub fn gauge_add(&mut self, g: Gauge, delta: i64) {
         let slot = &mut self.gauges[g as usize];
         *slot = slot.saturating_add_signed(delta);
+        let op = GaugeOp {
+            at: self.cur_at,
+            lane: self.cur_lane,
+            seq: self.next_seq(),
+            gauge: g as usize,
+            kind: GaugeOpKind::Add(delta),
+        };
+        self.gauge_ops.push(op);
     }
 
     /// Current value of one counter.
@@ -106,8 +193,7 @@ impl TraceCollector {
 
     /// Retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
-        let (wrapped, tail) = self.events.split_at(self.head);
-        tail.iter().chain(wrapped.iter())
+        self.events.iter().map(|(_, _, ev)| ev)
     }
 
     /// Events recorded and still retained.
@@ -120,9 +206,82 @@ impl TraceCollector {
         self.events.is_empty()
     }
 
-    /// Events evicted by the ring bound (0 means the trace is complete).
+    /// Events evicted by the capacity bound (0 means the trace is
+    /// complete). Set by [`merged`](Self::merged).
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Merge per-shard collectors into the canonical whole-run trace.
+    ///
+    /// * events: union re-sorted by `(time, lane, seq)`, then trimmed to
+    ///   the capacity bound keeping the newest (the serial ring's
+    ///   behavior, now defined on the canonical order);
+    /// * counters: element-wise sum;
+    /// * gauges: keyed op-log replay (exact duplicate ops from
+    ///   replicated recorders collapse to one);
+    /// * samples: per-instant element-wise sum of counter snapshots,
+    ///   with gauge levels recomputed from the op log at each instant.
+    ///
+    /// Every run goes through this — a serial run is merged-of-one — so
+    /// exports are byte-identical across shard counts by construction.
+    pub fn merged(parts: impl IntoIterator<Item = TraceCollector>) -> TraceCollector {
+        let mut capacity = 1;
+        let mut events: Vec<(u32, u64, TraceEvent)> = Vec::new();
+        let mut counters = [0u64; COUNTER_COUNT];
+        let mut gauge_ops: Vec<GaugeOp> = Vec::new();
+        let mut sample_sums: BTreeMap<SimTime, [u64; COUNTER_COUNT]> = BTreeMap::new();
+        for part in parts {
+            capacity = capacity.max(part.capacity);
+            events.extend(part.events);
+            for (i, v) in part.counters.iter().enumerate() {
+                counters[i] += v;
+            }
+            gauge_ops.extend(part.gauge_ops);
+            for s in part.samples {
+                let sums = sample_sums.entry(s.at).or_insert([0; COUNTER_COUNT]);
+                for (i, v) in s.counters.iter().enumerate() {
+                    sums[i] += v;
+                }
+            }
+        }
+        events.sort_by_key(|(lane, seq, ev)| (ev.at, *lane, *seq));
+        let evicted = events.len().saturating_sub(capacity) as u64;
+        events.drain(..evicted as usize);
+        gauge_ops.sort_by_key(|op| op.key());
+        gauge_ops.dedup_by_key(|op| op.key());
+        // Rebuild samples: counters are the summed snapshots; gauges are
+        // the op log replayed up to each instant.
+        let mut samples = Vec::with_capacity(sample_sums.len());
+        let mut gauges = [0u64; GAUGE_COUNT];
+        let mut cursor = 0usize;
+        for (at, sums) in sample_sums {
+            while cursor < gauge_ops.len() && gauge_ops[cursor].at <= at {
+                gauge_ops[cursor].apply(&mut gauges);
+                cursor += 1;
+            }
+            samples.push(CounterSample {
+                at,
+                counters: sums,
+                gauges,
+            });
+        }
+        let mut final_gauges = gauges;
+        for op in &gauge_ops[cursor..] {
+            op.apply(&mut final_gauges);
+        }
+        TraceCollector {
+            events,
+            capacity,
+            evicted,
+            counters,
+            gauges: final_gauges,
+            samples,
+            gauge_ops,
+            cur_lane: 0,
+            cur_at: SimTime::ZERO,
+            lane_seqs: HashMap::new(),
+        }
     }
 }
 
@@ -136,10 +295,14 @@ impl Default for TraceCollector {
 /// otherwise. This is the only call instrumentation sites need: when
 /// tracing is off the service is simply absent and the cost is one
 /// type-map probe — no allocation, no event, no branch on message data.
+/// Sets the recorder context (acting actor's lane, kernel clock) so
+/// records carry shard-invariant keys.
 #[inline]
 pub fn with_trace(ctx: &mut Context<'_>, f: impl FnOnce(&mut TraceCollector, SimTime)) {
     let now = ctx.now();
+    let lane = ctx.self_id().index() as u32;
     if let Some(tr) = ctx.try_service_mut::<TraceCollector>() {
+        tr.set_recorder(lane, now);
         f(tr, now);
     }
 }
@@ -158,15 +321,17 @@ mod tests {
     }
 
     #[test]
-    fn ring_keeps_newest_and_counts_evictions() {
+    fn merge_trims_to_capacity_keeping_newest() {
         let mut c = TraceCollector::with_capacity(3);
         for n in 0..5 {
             let (at, t, a, k) = ev(n);
             c.record(at, t, a, k);
         }
-        assert_eq!(c.len(), 3);
-        assert_eq!(c.evicted(), 2);
-        let ids: Vec<u64> = c.events().map(|e| e.trace.unwrap().0).collect();
+        assert_eq!(c.len(), 5, "live store is unbounded");
+        let m = TraceCollector::merged([c]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.evicted(), 2);
+        let ids: Vec<u64> = m.events().map(|e| e.trace.unwrap().0).collect();
         assert_eq!(ids, vec![2, 3, 4], "oldest first, newest retained");
     }
 
@@ -184,6 +349,37 @@ mod tests {
         c.sample(SimTime::from_secs(1));
         assert_eq!(c.samples().len(), 1);
         assert_eq!(c.samples()[0].counter(Counter::NetDrops), 3);
+    }
+
+    #[test]
+    fn merged_interleaves_shards_and_replays_gauges() {
+        // Shard A: lane 1 records at t=1,3; bumps a counter; moves a
+        // gauge. Shard B: lane 2 records at t=2; the replicated sampler
+        // snapshots on both shards at t=5.
+        let t = SimTime::from_micros;
+        let mut a = TraceCollector::new();
+        a.set_recorder(1, t(1));
+        a.record(t(1), Some(TraceId(10)), 1, EventKind::PublishBegin);
+        a.count(Counter::BrokerPublishes, 2);
+        a.gauge_add(Gauge::NicBacklogUs, 7);
+        a.set_recorder(1, t(3));
+        a.record(t(3), Some(TraceId(11)), 1, EventKind::PublishEnd);
+        a.sample(t(5));
+        let mut b = TraceCollector::new();
+        b.set_recorder(2, t(2));
+        b.record(t(2), Some(TraceId(20)), 2, EventKind::Available);
+        b.count(Counter::BrokerPublishes, 1);
+        b.gauge_add(Gauge::NicBacklogUs, -3);
+        b.sample(t(5));
+
+        let m = TraceCollector::merged([a, b]);
+        let order: Vec<u64> = m.events().map(|e| e.trace.unwrap().0).collect();
+        assert_eq!(order, vec![10, 20, 11], "canonical (at, lane, seq) order");
+        assert_eq!(m.counter(Counter::BrokerPublishes), 3);
+        assert_eq!(m.gauge(Gauge::NicBacklogUs), 4, "7 then -3 in key order");
+        assert_eq!(m.samples().len(), 1, "same-instant snapshots fuse");
+        assert_eq!(m.samples()[0].counter(Counter::BrokerPublishes), 3);
+        assert_eq!(m.samples()[0].gauge(Gauge::NicBacklogUs), 4);
     }
 
     #[test]

@@ -17,11 +17,54 @@ use crate::report::trim_float;
 use simcore::{Context, SimTime};
 use std::collections::BTreeMap;
 
+/// One recorded mutation of the registry, replayable at merge time.
+#[derive(Debug, Clone, PartialEq)]
+enum MetricOp {
+    /// `add_counter(name, delta)`.
+    CounterAdd(String, u64),
+    /// `set_gauge(name, value)`.
+    GaugeSet(String, f64),
+    /// `observe(name, micros)`.
+    Observe(String, u64),
+    /// `sample(at)` — snapshot the live maps into the series.
+    Sample,
+}
+
+impl MetricOp {
+    /// Total order among ops sharing a (time, lane, seq) key — only
+    /// replicated recorders produce such ties, and only when their
+    /// replicas record *different* content (e.g. each shard's vmstat
+    /// replica gauging its own nodes).
+    fn content_key(&self) -> (u8, &str, u64) {
+        match self {
+            MetricOp::CounterAdd(n, v) => (0, n, *v),
+            MetricOp::GaugeSet(n, v) => (1, n, v.to_bits()),
+            MetricOp::Observe(n, v) => (2, n, *v),
+            MetricOp::Sample => (3, "", 0),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpRec {
+    at: SimTime,
+    lane: u32,
+    seq: u64,
+    op: MetricOp,
+}
+
 /// Registry of named metrics plus the sampled time series.
 ///
 /// Names are dotted (`narada.broker0.queue_depth`); exporters sanitize
 /// them where the target format requires it. `BTreeMap` keys keep every
 /// export deterministic.
+///
+/// Every mutation is also appended to an op log keyed by
+/// `(time, recorder lane, per-lane seq)` — an interleaving-invariant key,
+/// since each lane's op stream is a function of that actor's own
+/// deterministic execution. [`merged`](Self::merged) replays the union of
+/// per-shard logs in key order, so any sharding of the same run rebuilds
+/// byte-identical counters, gauges, histograms, and time series.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
@@ -29,6 +72,10 @@ pub struct MetricsRegistry {
     hists: BTreeMap<String, LatencyHistogram>,
     /// Long-format samples: (instant, metric, value).
     series: Vec<(SimTime, String, f64)>,
+    ops: Vec<OpRec>,
+    lane_seqs: std::collections::HashMap<u32, u64>,
+    cur_lane: u32,
+    cur_at: SimTime,
 }
 
 impl MetricsRegistry {
@@ -37,8 +84,26 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Add `delta` to a monotonic counter (created at 0 on first use).
-    pub fn add_counter(&mut self, name: &str, delta: u64) {
+    /// Set the recording context for subsequent ops; called by
+    /// [`with_metrics`] with the acting actor's lane and the kernel
+    /// clock so op keys are shard-invariant.
+    pub fn set_recorder(&mut self, lane: u32, at: SimTime) {
+        self.cur_lane = lane;
+        self.cur_at = at;
+    }
+
+    fn record(&mut self, at: SimTime, op: MetricOp) {
+        let seq = self.lane_seqs.entry(self.cur_lane).or_insert(0);
+        self.ops.push(OpRec {
+            at,
+            lane: self.cur_lane,
+            seq: *seq,
+            op,
+        });
+        *seq += 1;
+    }
+
+    fn apply_counter(&mut self, name: &str, delta: u64) {
         if let Some(v) = self.counters.get_mut(name) {
             *v += delta;
         } else {
@@ -46,8 +111,7 @@ impl MetricsRegistry {
         }
     }
 
-    /// Set an instantaneous gauge level.
-    pub fn set_gauge(&mut self, name: &str, value: f64) {
+    fn apply_gauge(&mut self, name: &str, value: f64) {
         if let Some(v) = self.gauges.get_mut(name) {
             *v = value;
         } else {
@@ -55,8 +119,7 @@ impl MetricsRegistry {
         }
     }
 
-    /// Record one observation (microseconds) into a latency histogram.
-    pub fn observe(&mut self, name: &str, micros: u64) {
+    fn apply_observe(&mut self, name: &str, micros: u64) {
         if let Some(h) = self.hists.get_mut(name) {
             h.record(micros);
         } else {
@@ -64,6 +127,33 @@ impl MetricsRegistry {
             h.record(micros);
             self.hists.insert(name.to_owned(), h);
         }
+    }
+
+    fn apply_sample(&mut self, at: SimTime) {
+        for (name, &v) in &self.counters {
+            self.series.push((at, name.clone(), v as f64));
+        }
+        for (name, &v) in &self.gauges {
+            self.series.push((at, name.clone(), v));
+        }
+    }
+
+    /// Add `delta` to a monotonic counter (created at 0 on first use).
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        self.apply_counter(name, delta);
+        self.record(self.cur_at, MetricOp::CounterAdd(name.to_owned(), delta));
+    }
+
+    /// Set an instantaneous gauge level.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.apply_gauge(name, value);
+        self.record(self.cur_at, MetricOp::GaugeSet(name.to_owned(), value));
+    }
+
+    /// Record one observation (microseconds) into a latency histogram.
+    pub fn observe(&mut self, name: &str, micros: u64) {
+        self.apply_observe(name, micros);
+        self.record(self.cur_at, MetricOp::Observe(name.to_owned(), micros));
     }
 
     /// Current value of a counter (0 if never touched).
@@ -82,14 +172,60 @@ impl MetricsRegistry {
     }
 
     /// Snapshot every counter and gauge into the time series at `at`
-    /// (called by `simprof::MetricsSampler` on the vmstat cadence).
+    /// (called by the vmstat sampler on its cadence).
     pub fn sample(&mut self, at: SimTime) {
-        for (name, &v) in &self.counters {
-            self.series.push((at, name.clone(), v as f64));
+        self.apply_sample(at);
+        self.record(at, MetricOp::Sample);
+    }
+
+    /// Merge per-shard registries by replaying the union of their op
+    /// logs in `(time, lane, seq, content)` order. Exact duplicates
+    /// (the same op recorded by two replicas of a replicated actor, e.g.
+    /// the per-shard vmstat samplers' `Sample` marks) collapse to one.
+    ///
+    /// `derived_gauges` are whole-run gauges that no single shard can
+    /// compute (e.g. `probes_in_flight`, which needs the merged RTT
+    /// record set): each is a time-ordered series spliced in just before
+    /// every `Sample` snapshot, exactly where the serial sampler used to
+    /// refresh them.
+    pub fn merged(
+        parts: impl IntoIterator<Item = MetricsRegistry>,
+        derived_gauges: &[(&str, Vec<(SimTime, f64)>)],
+    ) -> MetricsRegistry {
+        let mut ops: Vec<OpRec> = parts.into_iter().flat_map(|p| p.ops).collect();
+        ops.sort_by(|a, b| {
+            (a.at, a.lane, a.seq)
+                .cmp(&(b.at, b.lane, b.seq))
+                .then_with(|| a.op.content_key().cmp(&b.op.content_key()))
+        });
+        ops.dedup_by(|a, b| a.at == b.at && a.lane == b.lane && a.seq == b.seq && a.op == b.op);
+        let mut out = MetricsRegistry::new();
+        let mut cursors = vec![0usize; derived_gauges.len()];
+        for rec in ops {
+            match &rec.op {
+                MetricOp::CounterAdd(n, d) => out.apply_counter(n, *d),
+                MetricOp::GaugeSet(n, v) => out.apply_gauge(n, *v),
+                MetricOp::Observe(n, us) => out.apply_observe(n, *us),
+                MetricOp::Sample => {
+                    for (i, (name, points)) in derived_gauges.iter().enumerate() {
+                        while cursors[i] < points.len() && points[cursors[i]].0 <= rec.at {
+                            out.apply_gauge(name, points[cursors[i]].1);
+                            cursors[i] += 1;
+                        }
+                    }
+                    out.apply_sample(rec.at);
+                }
+            }
+            out.ops.push(rec);
         }
-        for (name, &v) in &self.gauges {
-            self.series.push((at, name.clone(), v));
+        // Late derived points (after the final snapshot) still set the
+        // end-of-run gauge level for the Prometheus export.
+        for (name, points) in derived_gauges {
+            if let Some(&(_, v)) = points.last() {
+                out.apply_gauge(name, v);
+            }
         }
+        out
     }
 
     /// The sampled time series, in (instant, registration-name) order.
@@ -160,7 +296,9 @@ fn sanitize(name: &str) -> String {
 #[inline]
 pub fn with_metrics(ctx: &mut Context<'_>, f: impl FnOnce(&mut MetricsRegistry, SimTime)) {
     let now = ctx.now();
+    let lane = ctx.self_id().index() as u32;
     if let Some(m) = ctx.try_service_mut::<MetricsRegistry>() {
+        m.set_recorder(lane, now);
         f(m, now);
     }
 }
@@ -204,6 +342,63 @@ mod tests {
         assert_eq!(lines[2], "1,a.level,3");
         assert_eq!(lines[3], "2,z.count,2");
         assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn merged_replay_matches_serial_and_splices_derived_gauges() {
+        let t = SimTime::from_secs;
+        // Serial world: lanes 2 and 5 both write; sampler (lane 9) marks
+        // snapshots at 1 s and 2 s.
+        let serial_ops = |m: &mut MetricsRegistry| {
+            m.set_recorder(2, t(0));
+            m.add_counter("a.sent", 1);
+            m.set_recorder(5, t(0));
+            m.add_counter("b.sent", 2);
+            m.set_recorder(9, t(1));
+            m.sample(t(1));
+            m.set_recorder(2, t(1));
+            m.add_counter("a.sent", 4);
+            m.observe("a.cost_us", 300);
+            m.set_recorder(9, t(2));
+            m.sample(t(2));
+        };
+        let mut serial = MetricsRegistry::new();
+        serial_ops(&mut serial);
+
+        // Sharded world: lane 2 on shard A, lane 5 on shard B, the
+        // sampler replicated on both (identical Sample ops → dedup).
+        let mut a = MetricsRegistry::new();
+        a.set_recorder(2, t(0));
+        a.add_counter("a.sent", 1);
+        a.set_recorder(9, t(1));
+        a.sample(t(1));
+        a.set_recorder(2, t(1));
+        a.add_counter("a.sent", 4);
+        a.observe("a.cost_us", 300);
+        a.set_recorder(9, t(2));
+        a.sample(t(2));
+        let mut b = MetricsRegistry::new();
+        b.set_recorder(5, t(0));
+        b.add_counter("b.sent", 2);
+        b.set_recorder(9, t(1));
+        b.sample(t(1));
+        b.set_recorder(9, t(2));
+        b.sample(t(2));
+
+        let derived = [("probes_in_flight", vec![(t(1), 3.0), (t(2), 0.0)])];
+        let merged = MetricsRegistry::merged([a, b], &derived);
+        let reference = MetricsRegistry::merged([serial], &derived);
+        assert_eq!(merged.csv(), reference.csv(), "byte-identical series");
+        assert_eq!(merged.prometheus(), reference.prometheus());
+        assert_eq!(merged.counter("a.sent"), 5);
+        assert_eq!(merged.counter("b.sent"), 2);
+        assert_eq!(merged.gauge("probes_in_flight"), Some(0.0));
+        assert!(
+            merged.csv().contains("1,probes_in_flight,3"),
+            "{}",
+            merged.csv()
+        );
+        assert_eq!(merged.histogram("a.cost_us").unwrap().count(), 1);
     }
 
     #[test]

@@ -16,17 +16,44 @@
 use crate::histogram::LatencyHistogram;
 use crate::stats::Welford;
 use simcore::SimTime;
+use std::collections::{BTreeMap, HashMap};
 
 /// Handle to one in-flight probe record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The id is content-derived, not allocation-order-derived: the high 32
+/// bits are the publisher's kernel lane (its actor index) and the low 32
+/// bits a per-publisher sequence number. Two shards therefore never mint
+/// the same id, and a probe's id is identical no matter how the run is
+/// sharded — which is what lets per-shard collectors merge by key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProbeId(pub u64);
 
-#[derive(Debug, Clone, Copy)]
+impl ProbeId {
+    /// Compose an id from the publisher's lane and its own probe count.
+    pub fn compose(lane: u32, seq: u32) -> ProbeId {
+        ProbeId(u64::from(lane) << 32 | u64::from(seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
 struct Record {
-    before_sending: SimTime,
+    // All four instants are optional: a shard that only hosts the
+    // subscriber has a partial record (receive side only) until the
+    // end-of-run merge unions it with the publisher shard's half.
+    before_sending: Option<SimTime>,
     after_sending: Option<SimTime>,
     before_receiving: Option<SimTime>,
     after_receiving: Option<SimTime>,
+}
+
+/// Keep the earliest instant. Within one shard calls arrive in time
+/// order so this is plain first-wins idempotence (duplicate deliveries
+/// keep the first); across shards it makes the merge commutative.
+fn keep_min(slot: &mut Option<SimTime>, now: SimTime) {
+    match slot {
+        Some(t) if *t <= now => {}
+        _ => *slot = Some(now),
+    }
 }
 
 /// The four raw instants of one probe, in fig 15 order. Exposed so an
@@ -106,13 +133,16 @@ impl Conservation {
 
 /// The measurement service: middlewares and clients report instants; the
 /// experiment reads the summary at the end.
+///
+/// Raw instants are the only thing stored during the run. All derived
+/// statistics (Welford moments, the latency histogram) are computed by
+/// [`summary`](Self::summary) from the record map in probe-id order, so a
+/// merged collector and a serial one produce bit-identical summaries —
+/// the accumulation order is a function of the *keys*, never of the
+/// event interleaving that produced the records.
 pub struct RttCollector {
-    records: Vec<Record>,
-    rtt: Welford,
-    prt: Welford,
-    pt: Welford,
-    srt: Welford,
-    hist: LatencyHistogram,
+    records: BTreeMap<u64, Record>,
+    lane_seqs: HashMap<u32, u32>,
 }
 
 impl Default for RttCollector {
@@ -125,83 +155,111 @@ impl RttCollector {
     /// Empty collector.
     pub fn new() -> Self {
         RttCollector {
-            records: Vec::new(),
-            rtt: Welford::new(),
-            prt: Welford::new(),
-            pt: Welford::new(),
-            srt: Welford::new(),
-            hist: LatencyHistogram::new(),
+            records: BTreeMap::new(),
+            lane_seqs: HashMap::new(),
         }
     }
 
     /// The application is about to send; returns the probe handle.
-    pub fn before_sending(&mut self, now: SimTime) -> ProbeId {
-        let id = ProbeId(self.records.len() as u64);
-        self.records.push(Record {
-            before_sending: now,
-            after_sending: None,
-            before_receiving: None,
-            after_receiving: None,
-        });
+    /// `lane` is the publishing actor's kernel lane (actor index) — it
+    /// keys the id so probe identities are shard-invariant.
+    pub fn before_sending(&mut self, lane: u32, now: SimTime) -> ProbeId {
+        let seq = self.lane_seqs.entry(lane).or_insert(0);
+        let id = ProbeId::compose(lane, *seq);
+        *seq = seq.checked_add(1).expect("2^32 probes from one publisher");
+        keep_min(
+            &mut self.records.entry(id.0).or_default().before_sending,
+            now,
+        );
         id
     }
 
     /// The synchronous send completed.
     pub fn after_sending(&mut self, id: ProbeId, now: SimTime) {
-        let r = &mut self.records[id.0 as usize];
+        let r = self.records.entry(id.0).or_default();
         debug_assert!(r.after_sending.is_none(), "double after_sending");
-        r.after_sending = Some(now);
+        keep_min(&mut r.after_sending, now);
     }
 
     /// The middleware made the message available to the subscriber.
+    /// Idempotent: with redelivery (UDP retransmit) the first instant
+    /// wins. On a shard that does not host the publisher this creates a
+    /// partial record, completed by the end-of-run [`merged`](Self::merged).
     pub fn before_receiving(&mut self, id: ProbeId, now: SimTime) {
-        let r = &mut self.records[id.0 as usize];
-        // Idempotent: with redelivery (UDP retransmit) keep the first.
-        if r.before_receiving.is_none() {
-            r.before_receiving = Some(now);
-        }
+        keep_min(
+            &mut self.records.entry(id.0).or_default().before_receiving,
+            now,
+        );
     }
 
     /// The receiving application has the message. Duplicate deliveries
     /// (UDP retransmission) are counted once — first delivery wins.
     pub fn after_receiving(&mut self, id: ProbeId, now: SimTime) {
-        let r = &mut self.records[id.0 as usize];
-        if r.after_receiving.is_some() {
-            return;
-        }
-        r.after_receiving = Some(now);
-        let rtt = now.saturating_since(r.before_sending);
-        self.rtt.push(rtt.as_millis_f64());
-        self.hist.record(rtt.as_micros());
-        if let Some(aft) = r.after_sending {
-            self.prt
-                .push(aft.saturating_since(r.before_sending).as_millis_f64());
-            if let Some(bef_rx) = r.before_receiving {
-                self.pt.push(bef_rx.saturating_since(aft).as_millis_f64());
-                self.srt.push(now.saturating_since(bef_rx).as_millis_f64());
-            }
-        }
+        keep_min(
+            &mut self.records.entry(id.0).or_default().after_receiving,
+            now,
+        );
     }
 
-    /// Messages sent so far.
+    /// Union per-shard collectors into the whole-run collector. Records
+    /// merge field-wise keeping the earliest instant per phase, so the
+    /// publisher shard's send half and the subscriber shard's receive
+    /// half combine into the record a serial run would have written.
+    /// Merged-of-one is the identity.
+    pub fn merged(parts: impl IntoIterator<Item = RttCollector>) -> RttCollector {
+        let mut out = RttCollector::new();
+        for part in parts {
+            for (id, r) in part.records {
+                let dst = out.records.entry(id).or_default();
+                if let Some(t) = r.before_sending {
+                    keep_min(&mut dst.before_sending, t);
+                }
+                if let Some(t) = r.after_sending {
+                    keep_min(&mut dst.after_sending, t);
+                }
+                if let Some(t) = r.before_receiving {
+                    keep_min(&mut dst.before_receiving, t);
+                }
+                if let Some(t) = r.after_receiving {
+                    keep_min(&mut dst.after_receiving, t);
+                }
+            }
+            for (lane, seq) in part.lane_seqs {
+                let s = out.lane_seqs.entry(lane).or_insert(0);
+                *s = (*s).max(seq);
+            }
+        }
+        out
+    }
+
+    /// Messages sent so far (records with a publish instant; partial
+    /// receive-side records on a subscriber shard don't count until the
+    /// merge restores their send half).
     pub fn sent(&self) -> u64 {
-        self.records.len() as u64
+        self.records
+            .values()
+            .filter(|r| r.before_sending.is_some())
+            .count() as u64
     }
 
     /// Messages received so far.
     pub fn received(&self) -> u64 {
-        self.rtt.count()
+        self.records
+            .values()
+            .filter(|r| r.after_receiving.is_some())
+            .count() as u64
     }
 
-    /// Direct access to the latency histogram.
-    pub fn histogram(&self) -> &LatencyHistogram {
-        &self.hist
+    /// Every probe id with a record, in id order.
+    pub fn probe_ids(&self) -> impl Iterator<Item = ProbeId> + '_ {
+        self.records.keys().map(|&k| ProbeId(k))
     }
 
     /// Raw instants of one probe (`None` if the id was never issued).
     pub fn instants(&self, id: ProbeId) -> Option<ProbeInstants> {
-        self.records.get(id.0 as usize).map(|r| ProbeInstants {
-            before_sending: r.before_sending,
+        let r = self.records.get(&id.0)?;
+        Some(ProbeInstants {
+            before_sending: r.before_sending?,
             after_sending: r.after_sending,
             before_receiving: r.before_receiving,
             after_receiving: r.after_receiving,
@@ -225,10 +283,33 @@ impl RttCollector {
         }
     }
 
-    /// Summarize at end of experiment.
+    /// Summarize at end of experiment. Statistics accumulate in probe-id
+    /// order — a pure function of the record map — so any partition of
+    /// the same run summarizes, after [`merged`](Self::merged), to
+    /// bit-identical floats.
     pub fn summary(&self) -> RttSummary {
+        let mut rtt = Welford::new();
+        let mut prt = Welford::new();
+        let mut pt = Welford::new();
+        let mut srt = Welford::new();
+        let mut hist = LatencyHistogram::new();
+        for r in self.records.values() {
+            let (Some(sent_at), Some(rx)) = (r.before_sending, r.after_receiving) else {
+                continue;
+            };
+            let d = rx.saturating_since(sent_at);
+            rtt.push(d.as_millis_f64());
+            hist.record(d.as_micros());
+            if let Some(aft) = r.after_sending {
+                prt.push(aft.saturating_since(sent_at).as_millis_f64());
+                if let Some(bef_rx) = r.before_receiving {
+                    pt.push(bef_rx.saturating_since(aft).as_millis_f64());
+                    srt.push(rx.saturating_since(bef_rx).as_millis_f64());
+                }
+            }
+        }
         let sent = self.sent();
-        let received = self.received();
+        let received = rtt.count();
         let loss_rate = if sent == 0 {
             0.0
         } else {
@@ -238,19 +319,18 @@ impl RttCollector {
             sent,
             received,
             loss_rate,
-            rtt_mean_ms: self.rtt.mean(),
-            rtt_stddev_ms: self.rtt.stddev(),
-            percentiles_ms: self
-                .hist
+            rtt_mean_ms: rtt.mean(),
+            rtt_stddev_ms: rtt.stddev(),
+            percentiles_ms: hist
                 .percentile_series()
                 .into_iter()
                 .map(|(p, us)| (p, us as f64 / 1000.0))
                 .collect(),
-            prt_mean_ms: self.prt.mean(),
-            pt_mean_ms: self.pt.mean(),
-            srt_mean_ms: self.srt.mean(),
-            within_100ms: self.hist.fraction_le(100_000),
-            within_5s: self.hist.fraction_le(5_000_000),
+            prt_mean_ms: prt.mean(),
+            pt_mean_ms: pt.mean(),
+            srt_mean_ms: srt.mean(),
+            within_100ms: hist.fraction_le(100_000),
+            within_5s: hist.fraction_le(5_000_000),
         }
     }
 }
@@ -266,7 +346,7 @@ mod tests {
     #[test]
     fn full_lifecycle_decomposition() {
         let mut c = RttCollector::new();
-        let id = c.before_sending(t(1000));
+        let id = c.before_sending(0, t(1000));
         c.after_sending(id, t(1010));
         c.before_receiving(id, t(1500));
         c.after_receiving(id, t(1520));
@@ -283,10 +363,50 @@ mod tests {
     }
 
     #[test]
+    fn probe_ids_are_lane_keyed_and_merge_reassembles_split_records() {
+        // Serial reference: two publishers (lanes 3 and 9) interleaved.
+        let mut serial = RttCollector::new();
+        // Sharded: publishers live on shard A, the subscriber on shard B —
+        // each record is split into its send half and receive half.
+        let mut send_side = RttCollector::new();
+        let mut recv_side = RttCollector::new();
+        for i in 0..20u64 {
+            let lane = if i % 2 == 0 { 3 } else { 9 };
+            let sid = serial.before_sending(lane, t(i));
+            let aid = send_side.before_sending(lane, t(i));
+            assert_eq!(sid, aid, "content-derived ids agree across worlds");
+            assert_eq!(sid, ProbeId::compose(lane, (i / 2) as u32));
+            serial.after_sending(sid, t(i + 1));
+            send_side.after_sending(aid, t(i + 1));
+            if i % 5 != 0 {
+                serial.before_receiving(sid, t(i + 4));
+                serial.after_receiving(sid, t(i + 6));
+                recv_side.before_receiving(aid, t(i + 4));
+                recv_side.after_receiving(aid, t(i + 6));
+            }
+        }
+        let merged = RttCollector::merged([send_side, recv_side]);
+        let (m, s) = (merged.summary(), serial.summary());
+        assert_eq!((m.sent, m.received), (s.sent, s.received));
+        assert_eq!(m.rtt_mean_ms.to_bits(), s.rtt_mean_ms.to_bits());
+        assert_eq!(m.rtt_stddev_ms.to_bits(), s.rtt_stddev_ms.to_bits());
+        assert_eq!(m.pt_mean_ms.to_bits(), s.pt_mean_ms.to_bits());
+        assert_eq!(m.percentiles_ms, s.percentiles_ms);
+        assert_eq!(
+            merged.probe_ids().collect::<Vec<_>>(),
+            serial.probe_ids().collect::<Vec<_>>()
+        );
+        // Merged-of-one is the identity.
+        let once = RttCollector::merged([serial]);
+        let o = once.summary();
+        assert_eq!(o.rtt_mean_ms.to_bits(), s.rtt_mean_ms.to_bits());
+    }
+
+    #[test]
     fn loss_counts_unreceived() {
         let mut c = RttCollector::new();
         for i in 0..10 {
-            let id = c.before_sending(t(i));
+            let id = c.before_sending(0, t(i));
             c.after_sending(id, t(i + 1));
             if i % 5 != 0 {
                 c.after_receiving(id, t(i + 3));
@@ -301,7 +421,7 @@ mod tests {
     #[test]
     fn duplicate_delivery_counted_once() {
         let mut c = RttCollector::new();
-        let id = c.before_sending(t(0));
+        let id = c.before_sending(0, t(0));
         c.after_sending(id, t(1));
         c.after_receiving(id, t(5));
         c.after_receiving(id, t(9)); // retransmitted duplicate
@@ -314,7 +434,7 @@ mod tests {
     fn percentiles_and_budgets() {
         let mut c = RttCollector::new();
         for i in 1..=100u64 {
-            let id = c.before_sending(t(0));
+            let id = c.before_sending(0, t(0));
             c.after_sending(id, t(0));
             c.before_receiving(id, t(i));
             c.after_receiving(id, t(i));
@@ -331,7 +451,7 @@ mod tests {
         // Two RTTs: 10 and 20 ms → mean 15, population stddev 5.
         let mut c = RttCollector::new();
         for ms in [10u64, 20] {
-            let id = c.before_sending(t(0));
+            let id = c.before_sending(0, t(0));
             c.after_sending(id, t(0));
             c.after_receiving(id, t(ms));
         }
@@ -344,7 +464,7 @@ mod tests {
     fn conservation_classifies_exhaustively() {
         let mut c = RttCollector::new();
         for i in 0..10 {
-            let id = c.before_sending(t(i));
+            let id = c.before_sending(0, t(i));
             c.after_sending(id, t(i + 1));
             if i < 6 {
                 c.after_receiving(id, t(i + 3));

@@ -153,7 +153,7 @@ proptest! {
         let mut c = RttCollector::new();
         let mut expected_received = 0u64;
         for &(at, delivery) in &msgs {
-            let id = c.before_sending(SimTime::from_micros(at));
+            let id = c.before_sending(0, SimTime::from_micros(at));
             c.after_sending(id, SimTime::from_micros(at + 10));
             if let Some(d) = delivery {
                 c.before_receiving(id, SimTime::from_micros(at + 10 + d / 2));
