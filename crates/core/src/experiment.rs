@@ -38,6 +38,7 @@ use simfault::{FaultDriver, FaultInjector, FaultSchedule, FaultStats};
 use simnet::{Endpoint, NetworkFabric, Transport};
 use simos::{NodeId, OsModel, ProcessId, VmstatLog, VmstatSampler};
 use simshard::ShardPlan;
+use simslo::{SloCollector, SloReport, SloSpec};
 use simtrace::{TraceCollector, TraceId, TraceSampler, TraceSummary};
 use telemetry::{RttCollector, RttSummary};
 
@@ -123,6 +124,13 @@ pub struct ExperimentSpec {
     /// never touch the RNG or the event queue, so scoped runs are
     /// byte-identical to plain runs at a fixed seed.
     pub scope: bool,
+    /// Data-freshness / SLO accounting (`simslo`). Off by default: no
+    /// `SloCollector` service is registered, so every recording site
+    /// reduces to one failed type-map probe and the run is
+    /// byte-identical to a build without the plane. The publish stamps
+    /// ride out-of-band (like the trace id) and cost zero wire bytes,
+    /// so enabling it never perturbs timing either.
+    pub slo: Option<SloSpec>,
     /// Conservative-parallel shard count (`simshard`). The cluster's
     /// nodes partition round-robin into this many shards, each a full
     /// replica of the world advancing in LBTS lockstep with lookahead
@@ -158,6 +166,7 @@ impl ExperimentSpec {
             faults: FaultSchedule::new(),
             profile: false,
             scope: false,
+            slo: None,
             shards: 1,
         }
     }
@@ -178,6 +187,13 @@ impl ExperimentSpec {
     /// Enable wall-clock hot-path attribution for this run.
     pub fn scoped(mut self) -> Self {
         self.scope = true;
+        self
+    }
+
+    /// Measure data freshness (Age-of-Information) and deadline
+    /// compliance against `spec` for this run.
+    pub fn with_slo(mut self, spec: SloSpec) -> Self {
+        self.slo = Some(spec);
         self
     }
 
@@ -265,6 +281,17 @@ pub struct ScopeArtifacts {
     pub collapsed: String,
 }
 
+/// Freshness / SLO artifacts produced when `spec.slo` was set.
+#[derive(Debug, Clone)]
+pub struct SloArtifacts {
+    /// Per-reading outcome accounting, AoI sawtooth samples, burn
+    /// windows and windowed delivery-latency percentiles.
+    pub report: SloReport,
+    /// Deterministic long-format CSV (`t_s,metric,value`) of the AoI
+    /// and burn-window series (the `repro --slo` `slo.csv` file).
+    pub csv: String,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -306,6 +333,10 @@ pub struct ExperimentResult {
     /// Non-deterministic by nature (wall-clock), but producing it never
     /// perturbs the simulation.
     pub scope: Option<ScopeArtifacts>,
+    /// Freshness / deadline-SLO accounting (only when `spec.slo` was
+    /// set). Derived entirely from the merged record set, so it is
+    /// byte-identical across shard counts like every other artifact.
+    pub slo: Option<SloArtifacts>,
     /// Host wall-clock seconds this run took (perf-baseline input; the
     /// only non-deterministic field).
     pub wall_secs: f64,
@@ -431,6 +462,12 @@ fn build_world(
     if spec.profile {
         sim.add_service(simprof::Profiler::new());
         sim.add_service(telemetry::MetricsRegistry::new());
+    }
+    if spec.slo.is_some() {
+        // Pure bookkeeping keyed by content-derived probe ids: recording
+        // never touches the RNG or the event queue, so SLO-enabled runs
+        // are byte-identical to plain runs on every other artifact.
+        sim.add_service(SloCollector::new());
     }
     if spec.scope {
         // Arm the kernel's internal dispatch/queue timers and register the
@@ -800,6 +837,7 @@ struct ShardPartial {
     profiler: Option<simprof::Profiler>,
     metrics: Option<telemetry::MetricsRegistry>,
     wallscope: Option<simscope::WallScope>,
+    slo: Option<SloCollector>,
     os_busy: SimDuration,
     os_wall: Option<simcore::WallAccum>,
     now: SimTime,
@@ -839,6 +877,7 @@ fn extract_partial(sim: &mut Simulation, world: &WorldHandles) -> ShardPartial {
         wallscope: sim
             .service_mut::<simscope::WallScope>()
             .map(|w| std::mem::replace(w, simscope::WallScope::new())),
+        slo: sim.service_mut::<SloCollector>().map(std::mem::take),
         os_busy: sim
             .service::<OsModel>()
             .expect("os registered")
@@ -924,6 +963,7 @@ fn merge_results(
     let mut profilers = Vec::new();
     let mut metrics_parts = Vec::new();
     let mut wallscopes = Vec::new();
+    let mut slo_parts = Vec::new();
     let mut os_walls = Vec::new();
     let mut kernel_busy = SimDuration::ZERO;
     let (mut connected, mut refused) = (0u32, 0u32);
@@ -938,6 +978,7 @@ fn merge_results(
         profilers.push(p.profiler);
         metrics_parts.push(p.metrics);
         wallscopes.push(p.wallscope);
+        slo_parts.push(p.slo);
         os_walls.push(p.os_wall);
         kernel_busy += p.os_busy;
         connected += p.connected;
@@ -1020,13 +1061,39 @@ fn merge_results(
         None
     };
 
+    // Freshness plane: keyed union of the per-shard collectors (the
+    // publisher and the subscriber of one reading may live on different
+    // shards), then every statistic derives from the merged record set.
+    let slo_state = spec.slo.as_ref().map(|slo_spec| {
+        let col = SloCollector::merged(slo_parts.into_iter().flatten());
+        let report = col.report(
+            slo_spec,
+            now,
+            simslo::SAMPLE_CADENCE,
+            simslo::DEFAULT_WINDOW,
+        );
+        // The carried stamp and the collector's own publish record are
+        // independent paths to the same instant; a disagreement is an
+        // instrumentation bug, exactly like the trace cross-check above.
+        debug_assert_eq!(
+            report.stamp_disagreements, 0,
+            "carried publish stamps disagree with recorded publish instants"
+        );
+        (col, report)
+    });
+
     let profile = if spec.profile {
         let p = simprof::Profiler::merged(profilers.into_iter().flatten());
         let report = p.report(kernel_busy);
-        let metrics = telemetry::MetricsRegistry::merged(
-            metrics_parts.into_iter().flatten(),
-            &[("probes_in_flight", probes_in_flight_series(&rtt))],
-        );
+        let mut derived: Vec<(String, Vec<(SimTime, f64)>)> = vec![(
+            "probes_in_flight".to_string(),
+            probes_in_flight_series(&rtt),
+        )];
+        if let (Some((col, _)), Some(slo_spec)) = (&slo_state, &spec.slo) {
+            derived.extend(col.metric_series(slo_spec.deadline, now, simslo::SAMPLE_CADENCE));
+        }
+        let metrics =
+            telemetry::MetricsRegistry::merged(metrics_parts.into_iter().flatten(), &derived);
         Some(ProfileArtifacts {
             table: report
                 .table(format!("{} — self time by component", spec.name))
@@ -1082,6 +1149,11 @@ fn merge_results(
         Some(FaultStats::merged(faults.into_iter().flatten()))
     };
 
+    let slo = slo_state.map(|(_, report)| SloArtifacts {
+        csv: report.csv(),
+        report,
+    });
+
     ExperimentResult {
         name: spec.name.clone(),
         generators: spec.generators,
@@ -1099,6 +1171,7 @@ fn merge_results(
         profile,
         kernel,
         scope,
+        slo,
         wall_secs,
     }
 }
@@ -1237,6 +1310,58 @@ mod tests {
         spec2.seed += 1;
         let c = run_experiment(&spec2);
         assert_ne!(a.summary.rtt_mean_ms, c.summary.rtt_mean_ms);
+    }
+
+    #[test]
+    fn slo_plane_accounts_for_every_reading() {
+        for system in [
+            SystemUnderTest::NaradaSingle,
+            SystemUnderTest::GridlogSingle,
+            SystemUnderTest::RgmaSingle,
+        ] {
+            let spec = ExperimentSpec::paper_default("slo/smoke", system, 8)
+                .scaled(3)
+                .with_slo(SloSpec::grid_default());
+            let r = run_experiment(&spec);
+            let slo = r.slo.as_ref().expect("slo artifacts present");
+            let rep = &slo.report;
+            assert_eq!(rep.published, 24, "{system:?}: every publish recorded once");
+            assert_eq!(
+                rep.on_time + rep.late + rep.lost,
+                rep.published,
+                "{system:?}: outcomes partition the readings"
+            );
+            assert!(rep.delivered > 0, "{system:?}: deliveries recorded");
+            assert_eq!(rep.stamp_disagreements, 0);
+            assert!(slo.csv.starts_with("t_s,metric,value\n"));
+            // Fault-free smoke runs at tiny load meet the grid default.
+            assert!(rep.compliant, "{system:?}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn slo_runs_leave_other_artifacts_untouched() {
+        let plain =
+            ExperimentSpec::paper_default("slo/inert", SystemUnderTest::NaradaSingle, 8).scaled(3);
+        let slo = plain.clone().with_slo(SloSpec::grid_default());
+        let a = run_experiment(&plain);
+        let b = run_experiment(&slo);
+        assert!(a.slo.is_none());
+        assert_eq!(a.summary.rtt_mean_ms, b.summary.rtt_mean_ms);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.kernel.determinism_digest(), b.kernel.determinism_digest());
+    }
+
+    #[test]
+    fn sharded_slo_report_matches_serial() {
+        let spec = ExperimentSpec::paper_default("slo/shard", SystemUnderTest::NaradaSingle, 8)
+            .scaled(3)
+            .with_slo(SloSpec::grid_default());
+        let serial = run_experiment(&spec);
+        let sharded = run_experiment(&spec.clone().sharded(2));
+        let (a, b) = (serial.slo.unwrap(), sharded.slo.unwrap());
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.csv, b.csv);
     }
 
     #[test]

@@ -19,7 +19,8 @@ pub mod sweep;
 
 pub use experiment::{
     run_experiment, ExperimentResult, ExperimentSpec, ProfileArtifacts, ScopeArtifacts,
-    SystemUnderTest, TraceArtifacts,
+    SloArtifacts, SystemUnderTest, TraceArtifacts,
 };
 pub use simfault::{FaultKind, FaultSchedule, FaultStats};
+pub use simslo::{SloReport, SloSpec};
 pub use sweep::run_all;

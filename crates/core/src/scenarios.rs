@@ -205,13 +205,16 @@ pub fn three_way_outage_specs(msgs: u32) -> Vec<ExperimentSpec> {
 
 /// The perf-baseline suite (`repro bench`): one representative spec per
 /// deployment shape, small enough to run on CI yet exercising every
-/// mechanism (both transports, the DBN flood, the servlet chain).
+/// mechanism (both transports, the DBN flood, the servlet chain). Every
+/// spec carries the grid-default SLO so the baseline embeds the
+/// deterministic freshness rows the gate's latency-percentile checks
+/// need (`gridmon-bench/3`) — SLO measurement never perturbs the run.
 pub fn bench_specs(msgs: u32) -> Vec<ExperimentSpec> {
     let mut udp =
         ExperimentSpec::paper_default("bench/narada-udp", SystemUnderTest::NaradaSingle, 800)
             .scaled(msgs);
     udp.transport = Transport::Udp;
-    vec![
+    let specs = vec![
         ExperimentSpec::paper_default("bench/narada-tcp", SystemUnderTest::NaradaSingle, 800)
             .scaled(msgs),
         udp,
@@ -229,7 +232,11 @@ pub fn bench_specs(msgs: u32) -> Vec<ExperimentSpec> {
             .scaled(msgs),
         ExperimentSpec::paper_default("bench/gridlog", SystemUnderTest::GridlogSingle, 800)
             .scaled(msgs),
-    ]
+    ];
+    specs
+        .into_iter()
+        .map(|s| s.with_slo(simslo::SloSpec::grid_default()))
+        .collect()
 }
 
 /// Fig 15: RTT decomposition — Narada TCP at 800 and R-GMA single at 400.

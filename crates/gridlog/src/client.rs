@@ -336,6 +336,12 @@ impl GridlogClientSet {
         let lane = ctx.self_id().index() as u32;
         let probe = ctx.service_mut::<RttCollector>().before_sending(lane, now);
         message.headers.trace = Some(simtrace::TraceId(probe.0));
+        // Freshness stamp: out-of-band like the trace id, read back by
+        // the consumer when the record arrives in a fetch response.
+        message.headers.published_at = Some(now);
+        simslo::with_slo(ctx, |slo, at| {
+            slo.record_publish(probe, &message.headers.destination, at)
+        });
         let actor = ctx.self_id().index() as u64;
         simtrace::with_trace(ctx, |tr, at| {
             tr.record(
@@ -651,6 +657,18 @@ impl GridlogClientSet {
                         simtrace::with_trace(ctx, |tr, _| {
                             tr.record(now, id, actor, simtrace::EventKind::Available);
                             tr.record(done, id, actor, simtrace::EventKind::Delivered);
+                        });
+                        // Freshness plane: committed-offset replay after
+                        // a crash redelivers records, but the `fresh`
+                        // gate (and first-wins collector semantics)
+                        // keeps one delivery per reading.
+                        simslo::with_slo(ctx, |slo, _| {
+                            slo.record_delivery(
+                                rec.probe,
+                                actor as u32,
+                                done,
+                                rec.message.headers.published_at,
+                            );
                         });
                         events.push(ClientEvent::RecordArrived {
                             conn,

@@ -120,6 +120,33 @@ pub fn three_way(campaign: &mut Campaign, msgs: u32) -> Table {
     t
 }
 
+/// Three-contender freshness comparison (the `--slo` companion to
+/// [`three_way`]): deadline compliance, windowed delivery-latency
+/// percentiles and error-budget burn for the same fault-free and
+/// outage runs — degradation reported as SLO burn rather than raw
+/// loss. Rows without SLO artifacts (campaign ran without `--slo`)
+/// render as dashes instead of re-running anything.
+pub fn three_way_slo(campaign: &mut Campaign, msgs: u32) -> Table {
+    let clean = campaign.ensure(&scenarios::three_way_specs(msgs));
+    let outage = campaign.ensure(&scenarios::three_way_outage_specs(msgs));
+    let cols = gridmon_core::SloReport::table_columns();
+    let mut t = Table::new(
+        "Three-contender freshness — deadline-SLO compliance, identical workload and seed",
+        cols,
+    );
+    for r in clean.iter().chain(outage.iter()) {
+        match &r.slo {
+            Some(s) => t.push_row(s.report.table_row(&r.name)),
+            None => t.push_row(
+                std::iter::once(r.name.clone())
+                    .chain(std::iter::repeat_n("—".to_string(), cols.len() - 1))
+                    .collect(),
+            ),
+        }
+    }
+    t
+}
+
 /// Table I — hardware specifications and software versions (documented
 /// constants of the calibration).
 pub fn table1() -> Table {

@@ -4,11 +4,13 @@
 //! bench_gate [--tolerance=FRACTION] BASELINE.json CANDIDATE.json
 //! ```
 //!
-//! Both files must be `gridmon-bench` reports, schema v1 or v2 (see
+//! Both files must be `gridmon-bench` reports, schema v1–v3 (see
 //! `repro --bench-json`). Exits 0 when the candidate's total wall time
-//! is within `tolerance` (default 0.15 = +15 %) of the baseline and the
-//! deterministic workload counters match; exits 1 on a regression and
-//! 2 on usage or parse errors. On failure the message names the
+//! is within `tolerance` (default 0.15 = +15 %) of the baseline, the
+//! deterministic workload counters match, and — when both sides carry
+//! the v3 freshness rows — the p99 delivery latency is within the same
+//! tolerance with no drop in SLO compliance; exits 1 on a regression
+//! and 2 on usage or parse errors. On failure the message names the
 //! breaching scenario and metric and appends the `bench_diff`
 //! attribution table, so the log explains the regression instead of
 //! just reporting it.

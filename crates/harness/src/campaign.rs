@@ -1,6 +1,6 @@
 //! Memoized parallel execution of experiment specs.
 
-use gridmon_core::{run_all, ExperimentResult, ExperimentSpec, FaultSchedule, FaultStats};
+use gridmon_core::{run_all, ExperimentResult, ExperimentSpec, FaultSchedule, FaultStats, SloSpec};
 use std::collections::HashMap;
 
 /// Runs specs on demand, caching results by spec name so artifacts that
@@ -11,6 +11,7 @@ pub struct Campaign {
     trace: bool,
     profile: bool,
     scope: bool,
+    slo: Option<SloSpec>,
     faults: FaultSchedule,
     results: HashMap<String, ExperimentResult>,
     /// Wall-clock seconds spent running experiments.
@@ -26,6 +27,7 @@ impl Campaign {
             trace: false,
             profile: false,
             scope: false,
+            slo: None,
             faults: FaultSchedule::new(),
             results: HashMap::new(),
             wall_seconds: 0.0,
@@ -56,6 +58,12 @@ impl Campaign {
         self.faults = faults;
     }
 
+    /// Measure data freshness and deadline compliance against `spec` on
+    /// every run this campaign executes from now on (`--slo`).
+    pub fn set_slo(&mut self, spec: Option<SloSpec>) {
+        self.slo = spec;
+    }
+
     /// Run every spec on `shards` conservative parallel shards
     /// (`--shards N`; 1 = the serial event loop). Results are
     /// byte-identical across shard counts, so this only changes how the
@@ -77,6 +85,9 @@ impl Campaign {
                 s.shards = s.shards.max(self.shards);
                 if s.faults.is_empty() {
                     s.faults = self.faults.clone();
+                }
+                if s.slo.is_none() {
+                    s.slo = self.slo.clone();
                 }
                 s
             })
@@ -176,6 +187,82 @@ impl Campaign {
             std::fs::write(dir.join(format!("{stem}.prom.txt")), &prof.prometheus)?;
             std::fs::write(dir.join(format!("{stem}.metrics.csv")), &prof.metrics_csv)?;
             files += 4;
+        }
+        Ok(files)
+    }
+
+    /// One compliance table covering every SLO-measured run, sorted by
+    /// run name (the `--slo` terminal output). `None` when no run
+    /// carried an SLO spec.
+    pub fn slo_table(&self) -> Option<String> {
+        let rows = self.slo_rows();
+        if rows.is_empty() {
+            return None;
+        }
+        let mut table = telemetry::Table::new(
+            "Deadline-SLO compliance".to_string(),
+            gridmon_core::SloReport::table_columns(),
+        );
+        for (_, row) in rows {
+            table.push_row(row);
+        }
+        Some(table.render())
+    }
+
+    /// The same compliance rows as a GitHub-flavoured markdown table
+    /// (committed next to `slo.csv` by `--slo=DIR`).
+    pub fn slo_markdown(&self) -> Option<String> {
+        let rows = self.slo_rows();
+        if rows.is_empty() {
+            return None;
+        }
+        let cols = gridmon_core::SloReport::table_columns();
+        let mut out = String::from("# Deadline-SLO compliance\n\n");
+        out.push_str(&format!("| {} |\n", cols.join(" | ")));
+        out.push_str(&format!("|{}\n", " --- |".repeat(cols.len())));
+        for (_, row) in rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        Some(out)
+    }
+
+    fn slo_rows(&self) -> Vec<(String, Vec<String>)> {
+        let mut rows: Vec<(String, Vec<String>)> = self
+            .results
+            .iter()
+            .filter_map(|(name, r)| {
+                r.slo
+                    .as_ref()
+                    .map(|s| (name.clone(), s.report.table_row(name)))
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Write the freshness artifacts of every SLO-measured run under
+    /// `dir`: `<name>.slo.csv` (AoI sawtooth + burn-window time series)
+    /// plus one `compliance.md` markdown table covering all runs.
+    /// Returns the number of files written.
+    pub fn write_slo(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        let mut files = 0;
+        let mut names: Vec<&String> = self.results.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let r = &self.results[name];
+            let Some(slo) = &r.slo else { continue };
+            std::fs::create_dir_all(dir)?;
+            let stem: String = name
+                .chars()
+                .map(|c| if c == '/' || c == ' ' { '_' } else { c })
+                .collect();
+            std::fs::write(dir.join(format!("{stem}.slo.csv")), &slo.csv)?;
+            files += 1;
+        }
+        if let Some(md) = self.slo_markdown() {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(dir.join("compliance.md"), md)?;
+            files += 1;
         }
         Ok(files)
     }

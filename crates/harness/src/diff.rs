@@ -4,7 +4,7 @@
 //! shifts, per-site wall-clock attribution, and workload-drift flags.
 //! Turns `bench_gate`'s pass/fail into an explanation.
 
-use crate::bench::{BenchReport, BenchRow, SCHEMA};
+use crate::bench::{BenchReport, BenchRow};
 use std::fmt::Write as _;
 use telemetry::Table;
 
@@ -27,6 +27,13 @@ pub struct ScenarioDiff {
     pub timer_share: Option<(f64, f64)>,
     /// Largest per-event-type executed-count shifts (`type old→new`).
     pub type_shifts: Vec<String>,
+    /// SLO compliance (baseline, candidate), when both sides carry the
+    /// v3 freshness rows.
+    pub slo_compliance: Option<(f64, f64)>,
+    /// Delivery-latency p99 ms (baseline, candidate), v3 rows only.
+    pub slo_p99_ms: Option<(f64, f64)>,
+    /// Deadline misses late+lost (baseline, candidate), v3 rows only.
+    pub slo_misses: Option<(u64, u64)>,
 }
 
 impl ScenarioDiff {
@@ -67,20 +74,21 @@ fn timer_share(row: &BenchRow) -> Option<f64> {
 
 /// Compare `baseline` against `candidate`.
 pub fn diff(baseline: &BenchReport, candidate: &BenchReport, tolerance: f64) -> DiffReport {
-    let schema_note = match (baseline.schema == SCHEMA, candidate.schema == SCHEMA) {
-        (false, true) => Some(format!(
-            "baseline is {}: kernel event accounting unavailable for it (candidate is {})",
-            baseline.schema, candidate.schema
-        )),
-        (true, false) => Some(format!(
-            "candidate is {}: kernel event accounting unavailable for it (baseline is {})",
-            candidate.schema, baseline.schema
-        )),
-        (false, false) if baseline.schema != candidate.schema => Some(format!(
-            "schema mismatch: {} vs {}",
-            baseline.schema, candidate.schema
-        )),
-        _ => None,
+    // The schema tags order lexically ("…/1" < "…/2" < "…/3"), so the
+    // older side is the one missing rows newer schemas added (kernel
+    // event accounting in v2, freshness/SLO in v3).
+    let schema_note = if baseline.schema == candidate.schema {
+        None
+    } else {
+        let (older_side, older, newer) = if baseline.schema < candidate.schema {
+            ("baseline", &baseline.schema, &candidate.schema)
+        } else {
+            ("candidate", &candidate.schema, &baseline.schema)
+        };
+        Some(format!(
+            "{older_side} is {older}: rows added by newer schemas (kernel event \
+             accounting, freshness/SLO) unavailable for it (the other side is {newer})"
+        ))
     };
     let mut scenarios = Vec::new();
     let mut missing = Vec::new();
@@ -133,6 +141,7 @@ pub fn diff(baseline: &BenchReport, candidate: &BenchReport, tolerance: f64) -> 
             }
             _ => (None, Vec::new()),
         };
+        let slo = b.slo.as_ref().zip(c.slo.as_ref());
         scenarios.push(ScenarioDiff {
             name: b.name.clone(),
             wall: (b.wall_secs, c.wall_secs),
@@ -141,6 +150,9 @@ pub fn diff(baseline: &BenchReport, candidate: &BenchReport, tolerance: f64) -> 
             peak_depth,
             timer_share: timer_share(b).zip(timer_share(c)),
             type_shifts,
+            slo_compliance: slo.map(|(x, y)| (x.compliance, y.compliance)),
+            slo_p99_ms: slo.map(|(x, y)| (x.delivery_p99_ms, y.delivery_p99_ms)),
+            slo_misses: slo.map(|(x, y)| (x.late + x.lost, y.late + y.lost)),
         });
     }
     let added = candidate
@@ -257,6 +269,49 @@ pub fn render_markdown(d: &DiffReport) -> String {
         out.push_str(&k.to_markdown());
         out.push('\n');
     }
+
+    let with_slo: Vec<&ScenarioDiff> = d
+        .scenarios
+        .iter()
+        .filter(|s| s.slo_compliance.is_some())
+        .collect();
+    if !with_slo.is_empty() {
+        let mut f = Table::new(
+            "Freshness / SLO",
+            &[
+                "scenario",
+                "compliance (old→new)",
+                "delivery p99 ms (old→new)",
+                "Δ p99",
+                "misses (old→new)",
+                "flags",
+            ],
+        );
+        for s in with_slo {
+            let (co, cn) = s.slo_compliance.unwrap();
+            let (po, pn) = s.slo_p99_ms.unwrap();
+            let (mo, mn) = s.slo_misses.unwrap();
+            let mut flags = Vec::new();
+            // Virtual-clock metrics: any compliance drop is readings
+            // newly missing their deadline, not measurement noise.
+            if cn + 1e-6 < co {
+                flags.push("COMPLIANCE DROP".to_owned());
+            }
+            if po > 0.0 && (pn - po) / po > d.tolerance {
+                flags.push("P99 REGRESSION".to_owned());
+            }
+            f.push_row(vec![
+                s.name.clone(),
+                format!("{:.4} → {:.4}", co, cn),
+                format!("{:.3} → {:.3}", po, pn),
+                pct_str(po, pn),
+                format!("{mo} → {mn}"),
+                flags.join("; "),
+            ]);
+        }
+        out.push_str(&f.to_markdown());
+        out.push('\n');
+    }
     out
 }
 
@@ -338,7 +393,7 @@ pub fn hotpath_markdown(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bench::{EventTypeRow, KernelRow, SCHEMA_V1};
+    use crate::bench::{EventTypeRow, KernelRow, SloRow, SCHEMA, SCHEMA_V1};
 
     fn row(name: &str, wall: f64, executed: u64) -> BenchRow {
         BenchRow {
@@ -365,6 +420,17 @@ mod tests {
                     dropped: 0,
                     timers: 0,
                 }],
+            }),
+            slo: Some(SloRow {
+                deadline_ms: 5000.0,
+                target: 0.99,
+                on_time: 15995,
+                late: 5,
+                lost: 0,
+                compliance: 0.999_687_5,
+                worst_burn: 0.1,
+                delivery_p50_ms: 1.0,
+                delivery_p99_ms: 3.0,
             }),
             wall_secs: wall,
         }
@@ -426,6 +492,38 @@ mod tests {
         assert!(md.contains("WORKLOAD DRIFT"));
         assert!(md.contains("sent 16000→17000"));
         assert!(md.contains("Delivery 1000→1200"));
+    }
+
+    #[test]
+    fn freshness_regressions_are_attributed() {
+        let base = report(vec![row("bench/a", 1.0, 1000), row("bench/b", 1.0, 1000)]);
+        let mut cand = report(vec![row("bench/a", 1.0, 1000), row("bench/b", 1.0, 1000)]);
+        {
+            let s = cand.experiments[0].slo.as_mut().unwrap();
+            s.delivery_p99_ms = 9.0;
+        }
+        {
+            let s = cand.experiments[1].slo.as_mut().unwrap();
+            s.on_time -= 7;
+            s.lost += 7;
+            s.compliance = 0.999_25;
+        }
+        let d = diff(&base, &cand, 0.15);
+        assert_eq!(d.scenarios[0].slo_p99_ms, Some((3.0, 9.0)));
+        assert_eq!(d.scenarios[1].slo_misses, Some((5, 12)));
+        let md = render_markdown(&d);
+        assert!(md.contains("Freshness / SLO"), "{md}");
+        assert!(md.contains("P99 REGRESSION"), "{md}");
+        assert!(md.contains("COMPLIANCE DROP"), "{md}");
+        // SLO-less sides (v2 files) skip the freshness table entirely.
+        let mut v2 = base.clone();
+        v2.schema = crate::bench::SCHEMA_V2.into();
+        for e in &mut v2.experiments {
+            e.slo = None;
+        }
+        let d = diff(&v2, &cand, 0.15);
+        assert!(d.scenarios[0].slo_compliance.is_none());
+        assert!(!render_markdown(&d).contains("Freshness / SLO"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale=N] [--threads=N] [--shards=N] [--out=DIR | --no-csv]
 //!       [--trace[=DIR]] [--faults=SCENARIO] [--profile[=DIR]]
-//!       [--scope[=DIR]] [--bench-json=FILE] <artifact>...
+//!       [--scope[=DIR]] [--slo[=DIR]] [--bench-json=FILE] <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 rgma-warmup
@@ -51,18 +51,28 @@
 //!                  (flamegraph collapsed stacks) under DIR (default:
 //!                  results/scope/); instrumented runs stay byte-identical
 //!                  to plain ones at the same seed
+//! --slo[=DIR]      measure data freshness (Age-of-Information) and
+//!                  deadline compliance against the grid default SLO
+//!                  (5 s deadline, 99% target) on every run, print the
+//!                  compliance table, and write `<run>.slo.csv` (AoI
+//!                  sawtooth + burn-window time series) plus
+//!                  `compliance.md` under DIR (default: results/slo/);
+//!                  the publish stamps ride out-of-band, so measured
+//!                  runs stay byte-identical to plain ones on every
+//!                  other artifact
 //! --bench-json FILE  run the perf-baseline suite (`bench`) and write a
 //!                  schema-versioned machine-readable report
-//!                  (gridmon-bench/2, with per-event-type kernel
-//!                  accounting) to FILE; compare against a committed
-//!                  baseline with `bench_gate` or `bench_diff`
+//!                  (gridmon-bench/3, with per-event-type kernel
+//!                  accounting and freshness/SLO rows) to FILE; compare
+//!                  against a committed baseline with `bench_gate` or
+//!                  `bench_diff`
 //! ```
 
 use harness::{artifacts, Campaign};
 use std::io::Write;
 
 const VALID_OPTIONS: &str = "--scale --threads --shards --out --no-csv --trace[=DIR] \
-     --faults --profile[=DIR] --scope[=DIR] --bench-json --list-scenarios --help";
+     --faults --profile[=DIR] --scope[=DIR] --slo[=DIR] --bench-json --list-scenarios --help";
 
 struct Options {
     scale: u32,
@@ -72,6 +82,7 @@ struct Options {
     trace: Option<std::path::PathBuf>,
     profile: Option<std::path::PathBuf>,
     scope: Option<std::path::PathBuf>,
+    slo: Option<std::path::PathBuf>,
     bench_json: Option<std::path::PathBuf>,
     faults: Option<gridmon_core::FaultSchedule>,
     artifacts: Vec<String>,
@@ -137,6 +148,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut trace = None;
     let mut profile = None;
     let mut scope = None;
+    let mut slo = None;
     let mut bench_json = None;
     let mut faults = None;
     let mut artifacts = Vec::new();
@@ -200,6 +212,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     None => "results/scope".to_owned(),
                 }));
             }
+            "--slo" => {
+                slo = Some(std::path::PathBuf::from(match inline {
+                    Some(dir) if !dir.is_empty() => dir,
+                    Some(_) => return Err("--slo= needs a directory (or bare --slo)".into()),
+                    None => "results/slo".to_owned(),
+                }));
+            }
             "--bench-json" => {
                 bench_json = Some(std::path::PathBuf::from(take_value(
                     "--bench-json",
@@ -234,6 +253,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         trace,
         profile,
         scope,
+        slo,
         bench_json,
         faults,
         artifacts,
@@ -367,6 +387,15 @@ fn list_scenarios(scale: u32) {
     for (name, desc) in FAULT_SCENARIOS {
         println!("  {name:<22} {desc}");
     }
+    {
+        let slo = gridmon_core::SloSpec::grid_default();
+        println!(
+            "\nfreshness / SLO plane (--slo[=DIR]): grid default = {} ms \
+             deadline, {:.0}% on-time target; applies to every spec below",
+            slo.deadline.as_millis_f64(),
+            slo.target_fraction * 100.0
+        );
+    }
     println!("\nexperiment specs (run via the artifacts that own them):");
     let catalogues: [(&str, Vec<gridmon_core::ExperimentSpec>); 3] = [
         ("bench", gridmon_core::scenarios::bench_specs(scale)),
@@ -424,8 +453,8 @@ fn main() {
             "repro — regenerate the IPPS 2007 pub/sub study artifacts\n\n\
              usage: repro [--scale=N] [--threads=N] [--shards=N] \
              [--out=DIR | --no-csv] [--trace[=DIR]] [--faults=SCENARIO] \
-             [--profile[=DIR]] [--scope[=DIR]] [--bench-json=FILE] \
-             [--list-scenarios] <artifact>...\n\n\
+             [--profile[=DIR]] [--scope[=DIR]] [--slo[=DIR]] \
+             [--bench-json=FILE] [--list-scenarios] <artifact>...\n\n\
              artifacts: {} bench all\n\
              fault scenarios: {}\n\n\
              --list-scenarios describes every named scenario",
@@ -461,6 +490,9 @@ fn main() {
     campaign.set_trace(opts.trace.is_some());
     campaign.set_profile(opts.profile.is_some() || opts.bench_json.is_some());
     campaign.set_scope(opts.scope.is_some());
+    if opts.slo.is_some() {
+        campaign.set_slo(Some(gridmon_core::SloSpec::grid_default()));
+    }
     if let Some(faults) = &opts.faults {
         campaign.set_faults(faults.clone());
     }
@@ -534,6 +566,11 @@ fn main() {
                 let t = artifacts::three_way(&mut campaign, scale);
                 println!("{}", t.render());
                 write_csv(&opts.out, "compare", &t.to_csv());
+                if opts.slo.is_some() {
+                    let t = artifacts::three_way_slo(&mut campaign, scale);
+                    println!("{}", t.render());
+                    write_csv(&opts.out, "compare-slo", &t.to_csv());
+                }
             }
             "checks" => {
                 let checks = artifacts::headline_checks(&mut campaign, scale);
@@ -630,6 +667,15 @@ fn main() {
             Err(e) => eprintln!("warning: cannot write hot-path reports: {e}"),
         }
     }
+    if let Some(dir) = &opts.slo {
+        if let Some(table) = campaign.slo_table() {
+            println!("{table}");
+        }
+        match campaign.write_slo(dir) {
+            Ok(files) => eprintln!("{files} freshness files written under {}", dir.display()),
+            Err(e) => eprintln!("warning: cannot write freshness reports: {e}"),
+        }
+    }
     eprintln!(
         "{} experiments, {:.1}s simulated-experiment wall time, {:.1}s total",
         campaign.runs(),
@@ -723,6 +769,21 @@ mod tests {
         assert_eq!(suggestion("zzzzzzzz", arts()), "");
         // Exact matches never reach `suggestion`, but guard anyway.
         assert_eq!(suggestion("fig3", arts()), "");
+    }
+
+    #[test]
+    fn parse_args_handles_slo_flag_grammar() {
+        let bare = parse_args(["--slo".to_owned(), "compare".to_owned()].into_iter()).unwrap();
+        assert_eq!(
+            bare.slo.as_deref(),
+            Some(std::path::Path::new("results/slo"))
+        );
+        let with_dir = parse_args(["--slo=fresh".to_owned()].into_iter()).unwrap();
+        assert_eq!(with_dir.slo.as_deref(), Some(std::path::Path::new("fresh")));
+        let err = parse_args(["--slo=".to_owned()].into_iter()).err().unwrap();
+        assert!(err.contains("--slo="), "{err}");
+        let unknown = parse_args(["--sloo".to_owned()].into_iter()).err().unwrap();
+        assert!(unknown.contains("--slo[=DIR]"), "{unknown}");
     }
 
     #[test]

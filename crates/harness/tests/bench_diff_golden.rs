@@ -32,6 +32,8 @@ fn fixtures_roundtrip_byte_identically() {
         "improvement_v2.json",
         "drift_v2.json",
         "base_v1.json",
+        "base_v3.json",
+        "p99_regression_v3.json",
     ] {
         let text = std::fs::read_to_string(fixture(name)).unwrap();
         let parsed = BenchReport::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -108,6 +110,68 @@ fn v1_baseline_gets_schema_note_without_kernel_table() {
     assert!(
         !out.contains("Kernel event accounting"),
         "no kernel table when one side lacks the rows: {out}"
+    );
+}
+
+#[test]
+fn v2_baseline_against_v3_gets_schema_note_without_freshness_table() {
+    let (code, out, _) = bench_diff(&[&fixture("base_v2.json"), &fixture("base_v3.json")]);
+    assert_eq!(code, 0);
+    assert!(out.contains("**schema:**"), "{out}");
+    assert!(out.contains("baseline is gridmon-bench/2"), "{out}");
+    // The v2 side has no slo_* rows, so no freshness table can render —
+    // but the kernel table still can (both schemas carry those rows).
+    assert!(!out.contains("Freshness / SLO"), "{out}");
+    assert!(out.contains("Kernel event accounting"), "{out}");
+}
+
+#[test]
+fn v3_pair_renders_freshness_table_and_flags_p99_regression() {
+    let (code, out, _) =
+        bench_diff(&[&fixture("base_v3.json"), &fixture("p99_regression_v3.json")]);
+    assert_eq!(code, 0, "bench_diff is informational");
+    assert!(out.contains("Freshness / SLO"), "{out}");
+    let tcp_row = out
+        .lines()
+        .filter(|l| l.contains("bench/narada-tcp"))
+        .find(|l| l.contains("7.50"))
+        .expect("freshness row for the regressed scenario");
+    assert!(tcp_row.contains("P99 REGRESSION"), "{tcp_row}");
+    // The untouched scenarios carry no freshness flag.
+    assert!(!out.contains("COMPLIANCE DROP"), "{out}");
+}
+
+/// Run the `bench_gate` binary; returns (exit code, stdout, stderr).
+fn bench_gate(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .args(args)
+        .output()
+        .expect("bench_gate runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+#[test]
+fn gate_passes_identical_v3_reports_and_fails_injected_p99_regression() {
+    // Same file on both sides: nothing can regress.
+    let (code, out, _) = bench_gate(&[&fixture("base_v3.json"), &fixture("base_v3.json")]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("perf gate: PASS"), "{out}");
+
+    // Injected +60% p99 delivery latency on bench/narada-tcp: the gate
+    // must fail, name the metric and scenario, and append attribution.
+    let (code, _, err) =
+        bench_gate(&[&fixture("base_v3.json"), &fixture("p99_regression_v3.json")]);
+    assert_eq!(code, 1, "{err}");
+    assert!(err.contains("perf gate: FAIL"), "{err}");
+    assert!(err.contains("slo_delivery_p99_ms"), "{err}");
+    assert!(err.contains("bench/narada-tcp"), "{err}");
+    assert!(
+        err.contains("Freshness / SLO"),
+        "attribution appended: {err}"
     );
 }
 

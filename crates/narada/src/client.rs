@@ -342,6 +342,12 @@ impl NaradaClientSet {
         // Thread the causal trace id through the middleware (out-of-band:
         // not part of the wire encoding, see `wire::Headers::trace`).
         message.headers.trace = Some(simtrace::TraceId(probe.0));
+        // Freshness stamp, same out-of-band discipline: carried so the
+        // subscriber side can compute delivery age; zero wire bytes.
+        message.headers.published_at = Some(now);
+        simslo::with_slo(ctx, |slo, at| {
+            slo.record_publish(probe, &message.headers.destination, at)
+        });
         let actor = ctx.self_id().index() as u64;
         simtrace::with_trace(ctx, |tr, at| {
             tr.record(
@@ -528,7 +534,7 @@ impl NaradaClientSet {
                 sub_id,
                 probe,
                 deliver_seq,
-                message: _message,
+                message,
                 retransmit: _,
             } => {
                 let now = ctx.now();
@@ -576,6 +582,18 @@ impl NaradaClientSet {
                         let id = Some(simtrace::TraceId(probe.0));
                         tr.record(now, id, actor, simtrace::EventKind::Available);
                         tr.record(done, id, actor, simtrace::EventKind::Delivered);
+                    });
+                    // Freshness plane: the subscribing application has
+                    // the reading at `done` (same instant the RTT probe
+                    // completes); the carried stamp cross-checks the
+                    // publisher-side record.
+                    simslo::with_slo(ctx, |slo, _| {
+                        slo.record_delivery(
+                            probe,
+                            actor as u32,
+                            done,
+                            message.headers.published_at,
+                        );
                     });
                     events.push(ClientEvent::MessageArrived {
                         conn,

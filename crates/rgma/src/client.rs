@@ -76,10 +76,12 @@ struct SubscriberState {
     polling: bool,
 }
 
-/// Everything needed to retry a synchronous insert with the same probe.
+/// Everything needed to retry a synchronous insert with the same probe
+/// (and the same freshness stamp — a retry is the same reading).
 struct InsertInfo {
     sql: String,
     probe: telemetry::ProbeId,
+    published_at: simcore::SimTime,
     retries: u32,
 }
 
@@ -89,6 +91,7 @@ enum TimerPurpose {
         handle: ProducerHandle,
         sql: String,
         probe: telemetry::ProbeId,
+        published_at: simcore::SimTime,
         retries: u32,
     },
     CreateRetry(ProducerHandle),
@@ -211,6 +214,10 @@ impl RgmaClientSet {
         let now = ctx.now();
         let lane = ctx.self_id().index() as u32;
         let probe = ctx.service_mut::<RttCollector>().before_sending(lane, now);
+        // Freshness plane: the "topic" of an R-GMA reading is the table
+        // its producer declares.
+        let topic = self.producers.get(&handle).map_or("", |p| p.table.as_str());
+        simslo::with_slo(ctx, |slo, at| slo.record_publish(probe, topic, at));
         let actor = ctx.self_id().index() as u64;
         simtrace::with_trace(ctx, |tr, at| {
             tr.record(
@@ -220,17 +227,19 @@ impl RgmaClientSet {
                 simtrace::EventKind::PublishBegin,
             );
         });
-        self.send_insert(ctx, handle, sql, probe, 0);
+        self.send_insert(ctx, handle, sql, probe, now, 0);
         probe
     }
 
-    /// Send (or retry) an insert carrying `probe`.
+    /// Send (or retry) an insert carrying `probe` and the original
+    /// freshness stamp.
     fn send_insert(
         &mut self,
         ctx: &mut Context<'_>,
         handle: ProducerHandle,
         sql: String,
         probe: telemetry::ProbeId,
+        published_at: simcore::SimTime,
         retries: u32,
     ) {
         let state = self.producers.get(&handle).expect("unknown producer");
@@ -253,6 +262,7 @@ impl RgmaClientSet {
             InsertInfo {
                 sql: sql.clone(),
                 probe,
+                published_at,
                 retries,
             },
         );
@@ -262,6 +272,7 @@ impl RgmaClientSet {
             producer: server,
             sql,
             probe,
+            published_at,
         };
         ctx.with_service::<NetworkFabric, _>(|net, ctx| {
             net.send_at(
@@ -484,6 +495,7 @@ impl RgmaClientSet {
                                         handle,
                                         sql: info.sql,
                                         probe: info.probe,
+                                        published_at: info.published_at,
                                         retries: info.retries + 1,
                                     },
                                 );
@@ -539,7 +551,7 @@ impl RgmaClientSet {
                             done
                         });
                         let actor = ctx.self_id().index() as u64;
-                        for (probe, _tuple) in entries {
+                        for (probe, tuple) in entries {
                             ctx.service_mut::<RttCollector>()
                                 .after_receiving(probe, done);
                             simtrace::with_trace(ctx, |tr, _| {
@@ -550,6 +562,13 @@ impl RgmaClientSet {
                                     simtrace::EventKind::Delivered,
                                 );
                                 tr.count(simtrace::Counter::TuplesDelivered, 1);
+                            });
+                            // Freshness plane: the subscriber has the
+                            // tuple once the poll-result processing is
+                            // done; the stamp rode on the tuple from the
+                            // producer servlet's storage.
+                            simslo::with_slo(ctx, |slo, _| {
+                                slo.record_delivery(probe, actor as u32, done, tuple.published_at);
                             });
                         }
                         events.push(RgmaEvent::Polled(handle, n));
@@ -575,6 +594,7 @@ impl RgmaClientSet {
                 handle,
                 sql,
                 probe,
+                published_at,
                 retries,
             } => {
                 simtrace::with_trace(ctx, |tr, _| {
@@ -585,7 +605,7 @@ impl RgmaClientSet {
                     .get(&handle)
                     .is_some_and(|s| s.server.is_some())
                 {
-                    self.send_insert(ctx, handle, sql, probe, retries);
+                    self.send_insert(ctx, handle, sql, probe, published_at, retries);
                 }
             }
             TimerPurpose::CreateRetry(handle) => {

@@ -209,6 +209,7 @@ impl ProducerServlet {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_insert(
         &mut self,
         ctx: &mut Context<'_>,
@@ -217,6 +218,7 @@ impl ProducerServlet {
         producer: ProducerId,
         sql: String,
         probe: ProbeId,
+        published_at: simcore::SimTime,
     ) {
         let cost = self.cfg.costs.insert_base
             + SimDuration::from_micros(
@@ -251,7 +253,11 @@ impl ProducerServlet {
             let row = schema
                 .normalize_insert(&columns, &values)
                 .map_err(|e| e.to_string())?;
-            let tuple = schema.to_tuple(row);
+            let mut tuple = schema.to_tuple(row);
+            // Out-of-band freshness stamp: parsed SQL can't carry it, so
+            // the servlet copies it from the request onto the stored
+            // tuple, whence it rides through streaming/fetch/poll.
+            tuple.published_at = Some(published_at);
             inst.storage.insert(tuple, probe, done);
             Ok(inst.storage.len() as u32)
         })();
@@ -609,7 +615,8 @@ impl Actor for ProducerServlet {
                 producer,
                 sql,
                 probe,
-            } => self.on_insert(ctx, conn, req_id, producer, sql, probe),
+                published_at,
+            } => self.on_insert(ctx, conn, req_id, producer, sql, probe, published_at),
             ProducerRequest::CloseProducer { producer } => {
                 if self.instances.remove(&producer).is_some() {
                     let heap = self.cfg.memory.heap_per_producer;

@@ -4,6 +4,7 @@
 //! the entity bodies. Byte sizes are estimated from the carried SQL text
 //! and tuples (plus the HTTP framing added by `simnet::http`).
 
+use simcore::SimTime;
 use simnet::Endpoint;
 use telemetry::ProbeId;
 use wire::Tuple;
@@ -42,6 +43,12 @@ pub enum ProducerRequest {
         sql: String,
         /// Telemetry probe.
         probe: ProbeId,
+        /// Virtual instant the application called insert (`simslo`
+        /// freshness stamp). Out-of-band like `probe`: byte accounting
+        /// only counts the SQL text, and retries re-send the original
+        /// stamp. The producer servlet copies it onto the stored
+        /// tuple, whence it rides to consumers.
+        published_at: SimTime,
     },
     /// Close the instance (unregisters and frees storage).
     CloseProducer {

@@ -78,14 +78,17 @@ impl Transport {
 /// every shard, so the numbering agrees everywhere. Connections opened at
 /// runtime (after [`NetworkFabric::finish_build`]) happen only on the
 /// opener's shard, so their ids are instead packed from the opener's actor
-/// index and a per-opener counter: bit 31 set, bits 20..31 the opener's
-/// open count, bits 0..20 the opener actor index. Both schemes are pure
-/// functions of shard-invariant inputs.
+/// index and a per-opener counter: bit 31 set, bits 16..31 the opener's
+/// open count, bits 0..16 the opener actor index. Both schemes are pure
+/// functions of shard-invariant inputs. The split gives 64 Ki actors and
+/// 32 Ki runtime opens per actor — a single UDP client republishing
+/// through a long broker outage can legitimately reopen thousands of
+/// times, which overflowed the previous 11-bit count field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u32);
 
 const RUNTIME_CONN_BIT: u32 = 0x8000_0000;
-const RUNTIME_CONN_COUNT_SHIFT: u32 = 20;
+const RUNTIME_CONN_COUNT_SHIFT: u32 = 16;
 const RUNTIME_CONN_ACTOR_MASK: u32 = (1 << RUNTIME_CONN_COUNT_SHIFT) - 1;
 
 /// The shard-invariant identity of a connection: everything a receiving

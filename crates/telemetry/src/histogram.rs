@@ -5,6 +5,31 @@
 
 use crate::stats::Welford;
 
+/// Full-distribution digest of one histogram: the standard SLO
+/// percentiles plus the exact Welford moments. Values are in the
+/// histogram's native unit (microseconds for the RTT pipeline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact mean (Welford-backed, not bucketed).
+    pub mean: f64,
+    /// Exact population standard deviation.
+    pub stddev: f64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum recorded value (the 100th percentile).
+    pub max: u64,
+}
+
 /// Latency histogram over `u64` microsecond values.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
@@ -139,6 +164,27 @@ impl LatencyHistogram {
         let b = bucket_of(v);
         let below: u64 = self.counts[..=b].iter().sum();
         below as f64 / self.total as f64
+    }
+
+    /// Full-distribution summary (p50/p90/p95/p99/p99.9 + exact
+    /// moments), complementing the paper's 95..=100
+    /// [`percentile_series`](Self::percentile_series). `None` if empty.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = |q: f64| self.quantile(q).expect("non-empty");
+        Some(HistogramSummary {
+            count: self.total,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            p50: q(0.50),
+            p90: q(0.90),
+            p95: q(0.95),
+            p99: q(0.99),
+            p999: q(0.999),
+            max: self.max_seen,
+        })
     }
 
     /// Merge another histogram (parallel reduction).
@@ -296,6 +342,25 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn summary_reports_full_distribution() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 100);
+        }
+        let s = h.summary().expect("non-empty");
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.mean.to_bits(), h.mean().to_bits());
+        assert_eq!(s.stddev.to_bits(), h.stddev().to_bits());
+        assert_eq!(s.max, 100_000);
+        // Percentiles agree with quantile() and are non-decreasing.
+        assert_eq!(Some(s.p50), h.quantile(0.50));
+        assert_eq!(Some(s.p99), h.quantile(0.99));
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95);
+        assert!(s.p95 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        assert_eq!(LatencyHistogram::new().summary(), None);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod report;
 pub mod rtt;
 pub mod stats;
 
-pub use histogram::LatencyHistogram;
+pub use histogram::{HistogramSummary, LatencyHistogram};
 pub use metrics::{with_metrics, MetricsRegistry};
 pub use report::{degradation_table, trim_float, Figure, Series, Table};
 pub use rtt::{Conservation, ProbeId, ProbeInstants, RttCollector, RttSummary};

@@ -187,10 +187,11 @@ impl MetricsRegistry {
     /// compute (e.g. `probes_in_flight`, which needs the merged RTT
     /// record set): each is a time-ordered series spliced in just before
     /// every `Sample` snapshot, exactly where the serial sampler used to
-    /// refresh them.
+    /// refresh them. Names are owned because some series are minted per
+    /// subscriber lane (`freshness_age_ms/lane3`) rather than static.
     pub fn merged(
         parts: impl IntoIterator<Item = MetricsRegistry>,
-        derived_gauges: &[(&str, Vec<(SimTime, f64)>)],
+        derived_gauges: &[(String, Vec<(SimTime, f64)>)],
     ) -> MetricsRegistry {
         let mut ops: Vec<OpRec> = parts.into_iter().flat_map(|p| p.ops).collect();
         ops.sort_by(|a, b| {
@@ -385,7 +386,10 @@ mod tests {
         b.set_recorder(9, t(2));
         b.sample(t(2));
 
-        let derived = [("probes_in_flight", vec![(t(1), 3.0), (t(2), 0.0)])];
+        let derived = [(
+            "probes_in_flight".to_string(),
+            vec![(t(1), 3.0), (t(2), 0.0)],
+        )];
         let merged = MetricsRegistry::merged([a, b], &derived);
         let reference = MetricsRegistry::merged([serial], &derived);
         assert_eq!(merged.csv(), reference.csv(), "byte-identical series");

@@ -13,7 +13,7 @@
 //! PT = before_receiving − after_sending (Process Time),
 //! SRT = after_receiving − before_receiving (Subscribing Response Time).
 
-use crate::histogram::LatencyHistogram;
+use crate::histogram::{HistogramSummary, LatencyHistogram};
 use crate::stats::Welford;
 use simcore::SimTime;
 use std::collections::{BTreeMap, HashMap};
@@ -87,6 +87,10 @@ pub struct RttSummary {
     pub rtt_stddev_ms: f64,
     /// RTT at 95..100 percentiles, milliseconds.
     pub percentiles_ms: Vec<(u32, f64)>,
+    /// Full RTT distribution (p50/p90/p95/p99/p99.9 + moments), in
+    /// microseconds — so repro tables need not truncate at p95.
+    /// `None` when no message completed the round trip.
+    pub distribution_us: Option<HistogramSummary>,
     /// Mean PRT (publishing response time), ms.
     pub prt_mean_ms: f64,
     /// Mean PT (middleware process time), ms.
@@ -326,6 +330,7 @@ impl RttCollector {
                 .into_iter()
                 .map(|(p, us)| (p, us as f64 / 1000.0))
                 .collect(),
+            distribution_us: hist.summary(),
             prt_mean_ms: prt.mean(),
             pt_mean_ms: pt.mean(),
             srt_mean_ms: srt.mean(),
@@ -444,6 +449,11 @@ mod tests {
         assert_eq!(s.percentiles_ms[5], (100, 100.0));
         assert!(s.within_100ms >= 0.99);
         assert_eq!(s.within_5s, 1.0);
+        // The full distribution rides along, below p95 included.
+        let d = s.distribution_us.expect("messages completed");
+        assert_eq!(d.count, 100);
+        assert_eq!(d.max, 100_000);
+        assert!(d.p50 <= d.p90 && d.p90 <= d.p99 && d.p999 <= d.max);
     }
 
     #[test]

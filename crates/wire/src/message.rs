@@ -40,6 +40,11 @@ pub struct Headers {
     /// the calibrated transfer timings ([`Headers::wire_size`] and the
     /// codec ignore it; decode always yields `None`).
     pub trace: Option<simtrace::TraceId>,
+    /// Virtual publish instant (`simslo` freshness plane). Out-of-band
+    /// exactly like `trace`: rides with the message so the subscriber
+    /// side can compute delivery age, contributes zero wire bytes, and
+    /// is `None` whenever the SLO plane is off.
+    pub published_at: Option<SimTime>,
 }
 
 impl Headers {
@@ -53,12 +58,13 @@ impl Headers {
             delivery_mode: DeliveryMode::NonPersistent,
             correlation_id: None,
             trace: None,
+            published_at: None,
         }
     }
 
-    /// Encoded size of the headers on the wire. The `trace` id is
-    /// deliberately excluded: tracing must be free when off and must
-    /// not change message timing when on.
+    /// Encoded size of the headers on the wire. The `trace` id and the
+    /// `published_at` stamp are deliberately excluded: observation must
+    /// be free when off and must not change message timing when on.
     pub fn wire_size(&self) -> usize {
         // id + ts + prio + mode + corr flag/value + destination string.
         8 + 8 + 1 + 1 + 9 + 4 + self.destination.len()

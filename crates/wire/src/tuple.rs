@@ -44,6 +44,13 @@ pub struct Tuple {
     /// The R-GMA server-side insertion timestamp (set by the Primary
     /// Producer; drives retention).
     pub inserted_at: SimTime,
+    /// Virtual publish instant (`simslo` freshness plane). Out-of-band
+    /// instrumentation, mirroring `wire::Headers::published_at`: the
+    /// stamp rides with the tuple through producer storage, streaming,
+    /// and consumer polls, but is NOT part of the wire encoding
+    /// ([`Tuple::wire_size`] and the codec ignore it; decode always
+    /// yields `None`), so the SLO plane cannot perturb transfer timing.
+    pub published_at: Option<SimTime>,
 }
 
 impl Tuple {
@@ -54,10 +61,12 @@ impl Tuple {
             table: table.into(),
             values,
             inserted_at: SimTime::ZERO,
+            published_at: None,
         }
     }
 
-    /// Encoded size of the tuple (table name + cells).
+    /// Encoded size of the tuple (table name + cells). The out-of-band
+    /// `published_at` stamp contributes nothing.
     pub fn wire_size(&self) -> usize {
         4 + self.table.len() + 4 + self.values.iter().map(Value::wire_size).sum::<usize>() + 8
     }

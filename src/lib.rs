@@ -17,6 +17,7 @@ pub use simnet;
 pub use simos;
 pub use simprof;
 pub use simscope;
+pub use simslo;
 pub use simtrace;
 pub use telemetry;
 pub use wire;

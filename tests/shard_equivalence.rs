@@ -39,6 +39,10 @@ fn assert_equivalent(serial: &ExperimentResult, sharded: &ExperimentResult, labe
     );
     assert_eq!(a.percentiles_ms, b.percentiles_ms, "{label}: percentiles");
     assert_eq!(
+        a.distribution_us, b.distribution_us,
+        "{label}: histogram summary (windowed-histogram merge)"
+    );
+    assert_eq!(
         a.prt_mean_ms.to_bits(),
         b.prt_mean_ms.to_bits(),
         "{label}: prt"
@@ -109,6 +113,17 @@ fn assert_equivalent(serial: &ExperimentResult, sharded: &ExperimentResult, labe
             assert_eq!(pa.kernel_busy, pb.kernel_busy, "{label}: kernel busy time");
         }
         _ => panic!("{label}: profile artifacts present on one side only"),
+    }
+    // Freshness/SLO artifacts: the report (burn windows, AoI sawtooth,
+    // age percentiles) and the rendered slo.csv must merge to the same
+    // bytes regardless of shard layout.
+    match (&serial.slo, &sharded.slo) {
+        (None, None) => {}
+        (Some(sa), Some(sb)) => {
+            assert_eq!(sa.report, sb.report, "{label}: SLO report");
+            assert_eq!(sa.csv, sb.csv, "{label}: slo.csv bytes");
+        }
+        _ => panic!("{label}: SLO artifacts present on one side only"),
     }
     // Scope artifacts measure host wall time (non-deterministic by
     // nature); only their *shape* must match.
@@ -199,6 +214,37 @@ fn observed_artifacts_are_byte_identical_across_shard_counts() {
                 "{name}@{shards}: observation perturbed the sharded run"
             );
         }
+    }
+}
+
+/// Freshness plane under sharding: publishes and deliveries for one
+/// reading can land on different shards (multi-node deployments), so
+/// the keyed-union merge of the SLO collectors — and every derived
+/// statistic down to the csv bytes — must be shard-invariant.
+#[test]
+fn slo_reports_are_shard_invariant() {
+    for (system, name) in [
+        (SystemUnderTest::NaradaDbn { brokers: 3 }, "shard/slo-dbn"),
+        (SystemUnderTest::GridlogSingle, "shard/slo-gridlog"),
+        (SystemUnderTest::RgmaDistributed, "shard/slo-rgma"),
+    ] {
+        let spec = spec_for(system, name).with_slo(gridmon::core::SloSpec::grid_default());
+        let serial = run_experiment(&spec);
+        assert!(serial.slo.is_some(), "{name}: SLO artifacts missing");
+        for shards in [2usize, 4] {
+            let sharded = run_experiment(&spec.clone().sharded(shards));
+            assert_equivalent(&serial, &sharded, &format!("{name}@{shards}"));
+        }
+    }
+    // A lossy transport exercises the `lost` accounting path too.
+    let mut spec = spec_for(SystemUnderTest::NaradaSingle, "shard/slo-udp")
+        .with_slo(gridmon::core::SloSpec::grid_default());
+    spec.transport = Transport::Udp;
+    spec.ack_mode = AckMode::Client;
+    let serial = run_experiment(&spec);
+    for shards in [2usize, 4] {
+        let sharded = run_experiment(&spec.clone().sharded(shards));
+        assert_equivalent(&serial, &sharded, &format!("slo-udp@{shards}"));
     }
 }
 

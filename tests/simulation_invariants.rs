@@ -1,7 +1,7 @@
 //! Property-based invariants over whole experiments: conservation,
 //! determinism, and metric sanity for randomly drawn configurations.
 
-use gridmon::core::{run_experiment, ExperimentSpec, SystemUnderTest};
+use gridmon::core::{run_experiment, ExperimentSpec, SloSpec, SystemUnderTest};
 use gridmon::jms::AckMode;
 use gridmon::simcore::{SimDuration, SimTime};
 use gridmon::simfault::{FaultKind, FaultSchedule};
@@ -253,6 +253,41 @@ proptest! {
             "virtual-time flamegraphs must be byte-identical");
         prop_assert_eq!(&pa.metrics_csv, &pb.metrics_csv,
             "metric time series must be byte-identical");
+    }
+
+    /// Zero perturbation from the freshness plane: an SLO-enabled run
+    /// must be observationally identical to a plain one on every
+    /// pre-existing artifact — same events, bit-identical RTTs,
+    /// byte-identical trace exports. The collector records publish and
+    /// delivery instants out of band (like the trace stamps, zero wire
+    /// bytes) and derives every statistic post-merge, so arming it may
+    /// not move a single kernel event.
+    #[test]
+    fn slo_runs_are_byte_identical_to_plain(spec in arb_spec()) {
+        let plain = spec.clone().traced();
+        let slo = spec.traced().with_slo(SloSpec::grid_default());
+        let a = run_experiment(&plain);
+        let b = run_experiment(&slo);
+        prop_assert_eq!(a.summary.sent, b.summary.sent);
+        prop_assert_eq!(a.summary.received, b.summary.received);
+        prop_assert_eq!(a.summary.rtt_mean_ms.to_bits(), b.summary.rtt_mean_ms.to_bits());
+        prop_assert_eq!(a.summary.rtt_stddev_ms.to_bits(), b.summary.rtt_stddev_ms.to_bits());
+        prop_assert_eq!(a.events, b.events, "SLO tracking may not add or move kernel events");
+        prop_assert!(a.slo.is_none(), "plain run must not carry SLO artifacts");
+        let s = b.slo.expect("SLO run carries artifacts");
+        prop_assert_eq!(s.report.stamp_disagreements, 0,
+            "carried publish stamps disagree with recorded publish instants");
+        // Accounting closes: every published reading is exactly one of
+        // on-time, late, or lost.
+        prop_assert_eq!(
+            s.report.on_time + s.report.late + s.report.lost,
+            s.report.published,
+            "SLO accounting does not close"
+        );
+        prop_assert!(s.csv.starts_with("t_s,metric,value"));
+        let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+        prop_assert_eq!(&ta.jsonl, &tb.jsonl, "JSONL exports must be byte-identical");
+        prop_assert_eq!(&ta.chrome, &tb.chrome, "Chrome exports must be byte-identical");
     }
 
     /// Profiler conservation: the attributed self-time table must sum to
